@@ -1,0 +1,301 @@
+// Command fpgacnn drives the reproduction: it regenerates any table or
+// figure from the thesis's evaluation chapter, dumps the generated OpenCL
+// for a deployment, and runs the functional verification paths.
+//
+// Usage:
+//
+//	fpgacnn list                 # list experiments
+//	fpgacnn all                  # run every experiment (the full evaluation)
+//	fpgacnn <experiment>         # run one experiment (e.g. lenet-ladder)
+//	fpgacnn codegen <net>        # print the generated OpenCL kernels
+//	fpgacnn verify               # verify accelerator output vs the reference
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/aoc"
+	"repro/internal/bench"
+	"repro/internal/codegen"
+	"repro/internal/fpga"
+	"repro/internal/host"
+	"repro/internal/ir"
+	"repro/internal/nn"
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	var err error
+	switch cmd {
+	case "list":
+		fmt.Println("experiments:")
+		for _, e := range bench.Experiments {
+			fmt.Println("  " + e)
+		}
+		fmt.Println("other commands: all, codegen <net>, verify")
+	case "all":
+		var rep string
+		rep, err = bench.All()
+		fmt.Print(rep)
+	case "codegen":
+		err = dumpCodegen(arg(2, "lenet5"))
+	case "hostgen":
+		err = dumpHostProgram(arg(2, "lenet5"))
+	case "timeline":
+		err = dumpTimeline(arg(2, "lenet5"), arg(3, "S10SX"))
+	case "report":
+		err = dumpReport(arg(2, "lenet5"), arg(3, "S10SX"))
+	case "graph":
+		err = dumpGraph(arg(2, "lenet5"))
+	case "verify":
+		err = verify()
+	default:
+		var rep string
+		rep, err = bench.Run(cmd)
+		fmt.Print(rep)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpgacnn:", err)
+		os.Exit(1)
+	}
+}
+
+func arg(i int, def string) string {
+	if len(os.Args) > i {
+		return os.Args[i]
+	}
+	return def
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fpgacnn <command>
+  list | all | <experiment> | codegen <net> | hostgen <net> | report <net> <board> |
+  timeline <net> <board> | graph <net> | verify`)
+}
+
+// dumpCodegen prints the OpenCL program for a network's deployment: the
+// pipelined LeNet kernels, or the parameterized folded kernel set.
+func dumpCodegen(net string) error {
+	g, err := nn.ByName(net)
+	if err != nil {
+		return err
+	}
+	layers, err := relay.Lower(g)
+	if err != nil {
+		return err
+	}
+	var design interface{ Model(string) *aoc.KernelModel }
+	var models []*aoc.KernelModel
+	if net == "lenet5" {
+		p, err := host.BuildPipelined(layers, host.PipeTVMAutorun, fpga.S10SX, aoc.DefaultOptions)
+		if err != nil {
+			return err
+		}
+		models = p.Design.Kernels
+		design = p.Design
+	} else {
+		cfg, err := bench.FoldedConfigFor(net, fpga.S10SX)
+		if err != nil {
+			return err
+		}
+		f, err := host.BuildFolded(layers, cfg, fpga.S10SX, aoc.DefaultOptions)
+		if err != nil {
+			return err
+		}
+		models = f.Design.Kernels
+		design = f.Design
+	}
+	_ = design
+	var ks []*ir.Kernel
+	for _, m := range models {
+		ks = append(ks, m.Kernel)
+	}
+	fmt.Print(codegen.Program(ks))
+	return nil
+}
+
+// dumpHostProgram prints the generated OpenCL C++ host program (§5.2).
+func dumpHostProgram(net string) error {
+	g, err := nn.ByName(net)
+	if err != nil {
+		return err
+	}
+	layers, err := relay.Lower(g)
+	if err != nil {
+		return err
+	}
+	var ks []*ir.Kernel
+	concurrent := false
+	if net == "lenet5" {
+		p, err := host.BuildPipelined(layers, host.PipeTVMAutorun, fpga.S10SX, aoc.DefaultOptions)
+		if err != nil {
+			return err
+		}
+		for _, m := range p.Design.Kernels {
+			ks = append(ks, m.Kernel)
+		}
+		concurrent = true
+	} else {
+		cfg, err := bench.FoldedConfigFor(net, fpga.S10SX)
+		if err != nil {
+			return err
+		}
+		f, err := host.BuildFolded(layers, cfg, fpga.S10SX, aoc.DefaultOptions)
+		if err != nil {
+			return err
+		}
+		for _, m := range f.Design.Kernels {
+			ks = append(ks, m.Kernel)
+		}
+	}
+	fmt.Print(codegen.HostProgram(net, ks, concurrent))
+	return nil
+}
+
+// dumpReport prints the AOC/Quartus-style optimization and fit reports for
+// a network's deployment on a board.
+func dumpReport(net, boardName string) error {
+	board, err := fpga.ByName(boardName)
+	if err != nil {
+		return err
+	}
+	g, err := nn.ByName(net)
+	if err != nil {
+		return err
+	}
+	layers, err := relay.Lower(g)
+	if err != nil {
+		return err
+	}
+	var design *aoc.Design
+	if net == "lenet5" {
+		p, err := host.BuildPipelined(layers, host.PipeTVMAutorun, board, aoc.DefaultOptions)
+		if err != nil {
+			return err
+		}
+		design = p.Design
+	} else {
+		cfg, err := bench.FoldedConfigFor(net, board)
+		if err != nil {
+			return err
+		}
+		f, err := host.BuildFolded(layers, cfg, board, aoc.DefaultOptions)
+		if err != nil {
+			return err
+		}
+		design = f.Design
+	}
+	fmt.Print(design.DesignReport())
+	fmt.Println()
+	for _, m := range design.Kernels {
+		fmt.Print(m.OptimizationReport())
+		fmt.Print(m.AreaReport())
+		fmt.Println()
+	}
+	return nil
+}
+
+// dumpTimeline prints the execution Gantt chart for a deployment.
+func dumpTimeline(net, boardName string) error {
+	board, err := fpga.ByName(boardName)
+	if err != nil {
+		return err
+	}
+	g, err := nn.ByName(net)
+	if err != nil {
+		return err
+	}
+	layers, err := relay.Lower(g)
+	if err != nil {
+		return err
+	}
+	if net == "lenet5" {
+		p, err := host.BuildPipelined(layers, host.PipeTVMAutorun, board, aoc.DefaultOptions)
+		if err != nil {
+			return err
+		}
+		r, err := p.Run(3, true, false)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Timeline)
+		return nil
+	}
+	cfg, err := bench.FoldedConfigFor(net, board)
+	if err != nil {
+		return err
+	}
+	f, err := host.BuildFolded(layers, cfg, board, aoc.DefaultOptions)
+	if err != nil {
+		return err
+	}
+	r, err := f.Run(1, false)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Timeline)
+	return nil
+}
+
+// dumpGraph prints the Relay graph and the fused layer sequence.
+func dumpGraph(net string) error {
+	g, err := nn.ByName(net)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== graph (pre-fusion) ==")
+	fmt.Print(relay.DumpGraph(g))
+	layers, err := relay.Lower(g)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== fused layers (one kernel each) ==")
+	fmt.Print(relay.DumpLayers(layers))
+	return nil
+}
+
+// verify runs the host program's output-verification path: every LeNet
+// bitstream variant executed on the IR interpreter against the native
+// reference, over all ten digits.
+func verify() error {
+	layers, err := relay.Lower(nn.LeNet5())
+	if err != nil {
+		return err
+	}
+	for _, v := range host.PipeVariants {
+		p, err := host.BuildPipelined(layers, v, fpga.S10SX, aoc.DefaultOptions)
+		if err != nil {
+			return err
+		}
+		worst := 0.0
+		for d := 0; d <= 9; d++ {
+			in := nn.Digit(d)
+			want, err := relay.Execute(layers, in)
+			if err != nil {
+				return err
+			}
+			got, err := p.Infer(in)
+			if err != nil {
+				return err
+			}
+			if diff := tensor.MaxAbsDiff(got, want); diff > worst {
+				worst = diff
+			}
+			if got.ArgMax() != want.ArgMax() {
+				return fmt.Errorf("%s: classification mismatch on digit %d", v, d)
+			}
+		}
+		fmt.Printf("%-12s OK  (10 digits, max |diff| = %.2e)\n", v.String(), worst)
+	}
+	fmt.Println(strings.Repeat("-", 44))
+	fmt.Println("all bitstreams match the reference output")
+	return nil
+}

@@ -1,0 +1,91 @@
+// lenet_pipeline walks the Table 6.4 optimization ladder on one board:
+// the five bitstreams from the naive TVM schedule to the fully channelized,
+// autorun, concurrently-executed pipeline, with the per-command profile and
+// a sample of the generated OpenCL.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/aoc"
+	"repro/internal/codegen"
+	"repro/internal/fpga"
+	"repro/internal/host"
+	"repro/internal/nn"
+	"repro/internal/relay"
+)
+
+func main() {
+	boardName := flag.String("board", "S10SX", "target board: S10MX, S10SX, A10")
+	images := flag.Int("images", 40, "images to simulate per bitstream")
+	flag.Parse()
+
+	board, err := fpga.ByName(*boardName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	layers, err := relay.Lower(nn.LeNet5())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("LeNet-5 optimization ladder on %s (%s)\n\n", board.Name, board.SKU)
+	var base float64
+	for _, v := range host.PipeVariants {
+		dep, err := host.BuildPipelined(layers, v, board, aoc.DefaultOptions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		serial, err := dep.Run(*images, false, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ce, err := dep.Run(*images, true, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v == host.PipeBase {
+			base = serial.FPS
+		}
+		logic, ram, dsp := dep.Design.Utilization()
+		fmt.Printf("%-12s %7.0f FPS  %7.0f FPS [CE]  (%.2fx base)  logic %2.0f%% ram %2.0f%% dsp %2.0f%% fmax %.0f\n",
+			v, serial.FPS, ce.FPS, ce.FPS/base, logic*100, ram*100, dsp*100, dep.Design.FmaxMHz)
+	}
+
+	// Profile the autorun bitstream with the event profiler (Fig 6.2).
+	dep, err := host.BuildPipelined(layers, host.PipeAutorun, board, aoc.DefaultOptions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := dep.Run(10, false, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := prof.Breakdown["kernel"] + prof.Breakdown["write"] + prof.Breakdown["read"]
+	fmt.Printf("\nevent profile (autorun): kernel %.0f%%, write %.0f%%, read %.0f%%\n",
+		prof.Breakdown["kernel"]/total*100, prof.Breakdown["write"]/total*100, prof.Breakdown["read"]/total*100)
+
+	// The execution timeline of the concurrent pipelined run.
+	tl, err := dep.Run(3, true, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s", tl.Timeline)
+
+	// Show the generated OpenCL for the first convolution.
+	for _, m := range dep.Design.Kernels {
+		if m.Kernel.Name == "conv1" {
+			src := codegen.Kernel(m.Kernel)
+			fmt.Printf("\ngenerated OpenCL for conv1 (first %d lines):\n", 12)
+			for i, line := range strings.Split(src, "\n") {
+				if i >= 12 {
+					break
+				}
+				fmt.Println("  " + line)
+			}
+		}
+	}
+}

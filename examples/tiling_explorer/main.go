@@ -1,0 +1,42 @@
+// tiling_explorer sweeps 1×1-convolution tiling configurations on a board
+// (Table 6.6 / Fig 6.3), checks the §6.5 routing-failure cases, and prints
+// the Fig 6.8 congestion map for a failing configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/fpga"
+)
+
+func main() {
+	boardName := flag.String("board", "A10", "board for the sweep: S10MX, S10SX, A10")
+	flag.Parse()
+	board, err := fpga.ByName(*boardName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	_, report, err := bench.TilingSweep(board)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+
+	_, failures, err := bench.RoutingFailures()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(failures)
+
+	m, err := bench.RoutingMap()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(m)
+}

@@ -1,0 +1,133 @@
+package aoc
+
+// Calibration constants for the AOC/Quartus model. These are the "physics"
+// of the simulated toolchain. They were tuned so that the shapes reported in
+// the thesis's evaluation hold: the optimization ladder for LeNet, the
+// tiling-sweep area/fmax trends of Table 6.6, the fit failures of the naive
+// MobileNet/ResNet designs on the Arria 10, and the routing failures of the
+// 7/16/8 (S10SX) and 7/32/8 (S10MX) tiling configurations. They are not
+// per-experiment fudge factors: one set of constants drives every table.
+const (
+	// ---- initiation intervals (§2.4.4, §5.1.1) ----
+
+	// iiGlobalAccum is the II of a reduction that accumulates through a
+	// global-memory scratchpad: load + fadd + store round trip (the naive
+	// TVM schedule; the thesis measures II=5).
+	iiGlobalAccum = 5
+	// iiLocalAccumRelaxed is the II of a private-register accumulator when
+	// -fp-relaxed allows the single-cycle accumulator to be inferred.
+	iiLocalAccumRelaxed = 1
+	// iiLocalAccumStrict applies without -fp-relaxed: the floating add's
+	// latency becomes loop-carried.
+	iiLocalAccumStrict = 4
+
+	// pipelineFill is the depth of a pipelined loop nest: cycles to fill and
+	// drain once per entry into the nest.
+	pipelineFill = 42
+	// serialLoopOverhead is the per-iteration penalty of a loop AOC cannot
+	// pipeline (control re-steering between the body's regions).
+	serialLoopOverhead = 6
+	// leafStmtCycles is the issue cost of one straight-line statement region.
+	leafStmtCycles = 1
+
+	// autoUnrollMaxTrip is the largest constant trip count Quartus < 19.1
+	// unrolls automatically (covers the F×F = 9 case in the thesis), and
+	// autoUnrollMaxRepl bounds the total automatic replication.
+	autoUnrollMaxTrip = 9
+	autoUnrollMaxRepl = 81
+
+	// ---- area model (ALUT/FF/RAM/DSP) ----
+
+	// Fixed cost of one kernel's control: dispatch, ID generators, state.
+	kernelBaseALUT = 4000
+	kernelBaseFF   = 7500
+	kernelBaseRAM  = 9
+
+	// Loop-control hardware per (non-fully-unrolled) loop.
+	loopALUT = 240
+	loopFF   = 410
+
+	// Burst-coalesced LSU costs (§2.4.3): a base plus a per-width term.
+	lsuBaseALUT    = 1300
+	lsuBaseFF      = 2400
+	lsuPerWordALUT = 230 // per 32-bit lane of access width
+	lsuPerWordFF   = 420
+	lsuBaseRAM     = 4 // burst buffering
+	// Streaming and prefetching LSUs (§2.4.3) are simpler than
+	// burst-coalesced units: a FIFO plus sequential address generation.
+	streamingLSUFactor = 0.55
+	prefetchLSUFactor  = 0.85
+
+	// Nonaligned LSUs (unprovable alignment, e.g. symbolic strides) need the
+	// realignment network.
+	lsuNonalignedFactor = 1.8
+	// Cached burst-coalesced LSUs add a BRAM cache; AOC sizes it 256–512 kbit
+	// when the footprint is not statically known (§2.4.3). In M20Ks:
+	lsuCacheRAM = 30
+	// Write LSUs with a RAW dependence run in write-ack mode.
+	lsuWriteAckALUT = 900
+
+	// strideCoalesceMax is the largest constant element stride the burst-
+	// coalesced LSU covers by over-fetching the span instead of replicating.
+	strideCoalesceMax = 4
+
+	// lsuReplicaFactor discounts LSU copies beyond the first: replicated
+	// LSUs share burst/arbitration infrastructure.
+	lsuReplicaFactor = 0.5
+
+	// Pipelined (on-chip) LSU cost per access site.
+	pipelinedLSUALUT = 160
+	pipelinedLSUFF   = 240
+
+	// DSP glue logic per DSP block.
+	dspGlueALUT = 34
+	dspGlueFF   = 68
+
+	// M20K block payload in bytes (20 kbit).
+	m20kBytes = 2560
+	// Private arrays at or below this byte size become registers (§2.4.2).
+	registerThresholdBytes = 64
+
+	// Channel endpoint cost; FIFO storage beyond a cutoff goes to BRAM.
+	channelALUT          = 90
+	channelFF            = 150
+	channelRegDepthMax   = 64 // deeper FIFOs spill into M20Ks
+	channelRAMPerKBDepth = 1
+
+	// Expensive scalarized float ops (softmax): DSPs for exp and divide.
+	expDSPs = 8
+	divDSPs = 4
+	// Integer modulo in address math (the naive padding kernel) costs logic.
+	modALUT = 900
+
+	// ---- fmax model ----
+
+	// fmaxUtilPenalty scales the quadratic utilization term.
+	fmaxUtilPenalty = 0.42
+	// fmaxDemandPenalty scales the per-kernel routing-demand term.
+	fmaxDemandPenalty = 0.52
+	// fmaxKernelPenalty is the cost of each additional kernel clock region.
+	fmaxKernelPenalty = 0.013
+	fmaxFloorMHz      = 55
+
+	// ---- routing model ----
+
+	// routeLogicLimit: the fitter fails designs above this logic fraction.
+	routeLogicLimit = 0.94
+	routeRAMLimit   = 0.97
+	// demandCached weights cached LSUs (their BRAM halo) in the congestion
+	// metric; demandDSPWeight charges operand-distribution fanout.
+	demandCachedFactor = 1.5
+	demandDSPWeight    = 3.0
+)
+
+// routeCapacity is the per-board abstract routing capacity against which the
+// worst kernel's congestion demand is compared. The relative ordering is not
+// monotone in die size because the three BSPs/Quartus versions differ — the
+// thesis observes exactly this (§6.5: 7/16/8 fails on the larger S10SX while
+// the A10 routes 987-DSP configurations at degraded fmax).
+var routeCapacity = map[string]float64{
+	"A10":   4000,
+	"S10SX": 2950,
+	"S10MX": 5600,
+}

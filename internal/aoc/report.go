@@ -1,0 +1,122 @@
+package aoc
+
+// AOC-style reports: the "optimization report" (loop analysis with pipelining
+// status and II, as `aoc -rtl` emits) and the "area report" (per-kernel
+// resource estimate with LSU details). The thesis reads exactly these
+// artifacts to diagnose its kernels (§2.4, §5.1); this file renders our
+// model's equivalents.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// OptimizationReport renders the loop analysis for one kernel: every loop
+// with its trip count, pipelining verdict and initiation interval, with the
+// serialization causes AOC prints ("out-of-order outer loop", "memory
+// dependency").
+func (m *KernelModel) OptimizationReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Kernel: %s\n", m.Kernel.Name)
+	if m.Kernel.Autorun {
+		b.WriteString("  autorun kernel (no host dispatch)\n")
+	}
+	var walk func(n node, depth int)
+	walk = func(n node, depth int) {
+		ind := strings.Repeat("  ", depth+1)
+		switch x := n.(type) {
+		case *loopNode:
+			ext := "?"
+			if c, ok := ir.IsConst(x.extent); ok {
+				ext = fmt.Sprintf("%d", c)
+			} else {
+				ext = x.extent.String()
+			}
+			switch x.mode {
+			case modeUnrolled:
+				fmt.Fprintf(&b, "%sLoop (trip %s): FULLY UNROLLED\n", ind, ext)
+			case modeSerial:
+				fmt.Fprintf(&b, "%sLoop (trip %s): NOT pipelined — serialized by a global-memory dependency\n", ind, ext)
+			default:
+				fmt.Fprintf(&b, "%sLoop (trip %s): pipelined, II=%d\n", ind, ext, maxInt(x.ii, 1))
+			}
+			walk(x.child, depth+1)
+		case *blockNode:
+			for _, c := range x.children {
+				walk(c, depth)
+			}
+		case *leafNode:
+			if x.stmts > 0 {
+				fmt.Fprintf(&b, "%s%d statement(s)\n", ind, x.stmts)
+			}
+		}
+	}
+	walk(m.root, 0)
+	return b.String()
+}
+
+// AreaReport renders the per-kernel resource estimate with the LSU detail
+// table (type, width, replication, caching, alignment).
+func (m *KernelModel) AreaReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Kernel: %s\n", m.Kernel.Name)
+	fmt.Fprintf(&b, "  ALUTs: %d  FFs: %d  RAMs: %d  DSPs: %d\n",
+		m.Area.ALUTs, m.Area.FFs, m.Area.RAMs, m.Area.DSPs)
+	fmt.Fprintf(&b, "  Load-store units:\n")
+	for _, l := range m.LSUs {
+		if l.Kind == Pipelined {
+			fmt.Fprintf(&b, "    %-16s %-10s pipelined (on-chip), ports x%d\n",
+				l.Buf.Name, rw(l.IsWrite), l.Replicas)
+			continue
+		}
+		attrs := []string{}
+		if l.Cached {
+			attrs = append(attrs, "cached")
+		}
+		if l.Nonaligned {
+			attrs = append(attrs, "non-aligned")
+		}
+		if l.WriteAck {
+			attrs = append(attrs, "write-ack")
+		}
+		fmt.Fprintf(&b, "    %-16s %-10s %s, %d-bit x%d %s\n",
+			l.Buf.Name, rw(l.IsWrite), l.Kind, 32*l.WidthWords, l.Replicas, strings.Join(attrs, ","))
+	}
+	return b.String()
+}
+
+func rw(isWrite bool) string {
+	if isWrite {
+		return "store"
+	}
+	return "load"
+}
+
+// DesignReport renders the full Quartus-style fit summary for a design:
+// per-kernel area, totals against the board, fmax and the route verdict.
+func (d *Design) DesignReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Design %s on %s (%s)\n", d.Name, d.Board.Name, d.Board.SKU)
+	fmt.Fprintf(&b, "%-20s %10s %10s %8s %7s %9s\n", "kernel", "ALUTs", "FFs", "RAMs", "DSPs", "demand")
+	for _, m := range d.Kernels {
+		fmt.Fprintf(&b, "%-20s %10d %10d %8d %7d %9.0f\n",
+			m.Kernel.Name, m.Area.ALUTs, m.Area.FFs, m.Area.RAMs, m.Area.DSPs, m.Demand)
+	}
+	fmt.Fprintf(&b, "%-20s %10d %10d %8d %7d\n", "kernel system", d.Area.ALUTs, d.Area.FFs, d.Area.RAMs, d.Area.DSPs)
+	st := d.Board.Static
+	fmt.Fprintf(&b, "%-20s %10d %10d %8d %7d\n", "static partition", st.ALUTs, st.FFs, st.RAMs, st.DSPs)
+	logic, _, ram, dsp := d.TotalArea.Utilization(d.Board.Total)
+	fmt.Fprintf(&b, "%-20s %9.0f%% %10s %7.0f%% %6.0f%%\n", "utilization", logic*100, "", ram*100, dsp*100)
+	fmt.Fprintf(&b, "fmax: %.0f MHz\n", d.FmaxMHz)
+	switch {
+	case !d.Fits:
+		fmt.Fprintf(&b, "FIT: FAILED — insufficient %s\n", d.FailReason)
+	case !d.Routed:
+		fmt.Fprintf(&b, "ROUTE: FAILED — congestion (demand %.0f > capacity %.0f)\n", d.WorstDemand, d.Capacity)
+	default:
+		b.WriteString("FIT: ok  ROUTE: ok\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package aoc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fpga"
+	"repro/internal/ir"
+)
+
+func TestOptimizationReportShowsSerializationAndII(t *testing.T) {
+	k := convNaive(8, 11, 11, 6, 3)
+	m, err := Analyze(k, fpga.S10MX, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := m.OptimizationReport()
+	if !strings.Contains(rep, "serialized by a global-memory dependency") {
+		t.Fatalf("naive conv report must show serialization:\n%s", rep)
+	}
+	if !strings.Contains(rep, "II=5") {
+		t.Fatalf("naive conv report must show the II=5 accumulator:\n%s", rep)
+	}
+}
+
+func TestOptimizationReportShowsUnrolled(t *testing.T) {
+	k, _ := optimizedDense(16, 64, 8)
+	m, err := Analyze(k, fpga.S10MX, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := m.OptimizationReport()
+	if !strings.Contains(rep, "FULLY UNROLLED") {
+		t.Fatalf("report must flag the unrolled reduction:\n%s", rep)
+	}
+	if !strings.Contains(rep, "II=1") {
+		t.Fatalf("optimized dense must pipeline at II=1:\n%s", rep)
+	}
+}
+
+func TestAreaReportLSUDetails(t *testing.T) {
+	k, _ := optimizedDense(120, 400, 8)
+	m, err := Analyze(k, fpga.S10MX, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := m.AreaReport()
+	for _, want := range []string{"burst-coalesced", "256-bit", "cached", "pipelined (on-chip)"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("area report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestDesignReportVerdicts(t *testing.T) {
+	k, _ := optimizedDense(120, 400, 8)
+	d, err := Compile("rep", []*ir.Kernel{k}, fpga.A10, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := d.DesignReport()
+	for _, want := range []string{"static partition", "kernel system", "fmax:", "FIT: ok"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("design report missing %q:\n%s", want, rep)
+		}
+	}
+	// A failing design reports the failure.
+	var ks []*ir.Kernel
+	for i := 0; i < 30; i++ {
+		kk := convNaive(16, 28, 28, 64, 3)
+		kk.Name = kk.Name + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		ks = append(ks, kk)
+	}
+	d2, err := Compile("big", ks, fpga.A10, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Synthesizable() {
+		t.Skip("unexpectedly fits")
+	}
+	if rep := d2.DesignReport(); !strings.Contains(rep, "FAILED") {
+		t.Fatalf("failing design must report FAILED:\n%s", rep)
+	}
+}
+
+// topiConvParamForTest builds the ResNet 3x3 s1 kernel (7/8/3/3) without
+// importing topi (cycle): a hand-rolled equivalent of the generated IR.
+func topiConvParamForTest(t *testing.T) (*ir.Kernel, error) {
+	t.Helper()
+	c1 := ir.Param("p_c1")
+	h := ir.Param("p_h")
+	w := ir.Param("p_w")
+	c2 := ir.Param("p_c2")
+	cs := func(v int) ir.Expr { return ir.CInt(int64(v)) }
+	h2 := ir.AddE(ir.DivE(ir.SubE(h, cs(3)), cs(1)), cs(1))
+	w2 := ir.AddE(ir.DivE(ir.SubE(w, cs(3)), cs(1)), cs(1))
+	in := ir.NewBufferE("p_in", ir.Global, c1, h, w)
+	wt := ir.NewBufferE("p_wt", ir.Global, c2, c1, cs(3), cs(3))
+	out := ir.NewBufferE("p_out", ir.Global, c2, h2, w2)
+	tmp := ir.NewBuffer("p_tmp", ir.Private, 1, 7)
+	ax1o, ax1i := ir.V("ax1o"), ir.V("ax1i")
+	yy, xxo, xxi := ir.V("yy"), ir.V("xxo"), ir.V("xxi")
+	rco, rci := ir.V("rco"), ir.V("rci")
+	ry, rx := ir.V("ry"), ir.V("rx")
+	oc := ir.AddE(ax1o, ax1i)
+	ic := ir.AddE(ir.MulE(rco, cs(8)), rci)
+	ox := ir.AddE(ir.MulE(xxo, cs(7)), xxi)
+	tIdx := []ir.Expr{ax1i, xxi}
+	macc := &ir.Store{Buf: tmp, Index: tIdx,
+		Value: ir.AddE(&ir.Load{Buf: tmp, Index: tIdx},
+			ir.MulE(&ir.Load{Buf: in, Index: []ir.Expr{ic, ir.AddE(yy, ry), ir.AddE(ox, rx)}},
+				&ir.Load{Buf: wt, Index: []ir.Expr{oc, ic, ry, rx}}))}
+	red := ir.Stmt(macc)
+	red = &ir.For{Var: rx, Extent: cs(3), Unroll: -1, Body: red}
+	red = &ir.For{Var: ry, Extent: cs(3), Unroll: -1, Body: red}
+	red = &ir.For{Var: xxi, Extent: cs(7), Unroll: -1, Body: red}
+	red = &ir.For{Var: ax1i, Extent: cs(1), Unroll: -1, Body: red}
+	red = &ir.For{Var: rci, Extent: cs(8), Unroll: -1, Body: red}
+	initL := &ir.For{Var: ax1i, Extent: cs(1), Unroll: -1,
+		Body: &ir.For{Var: xxi, Extent: cs(7), Unroll: -1,
+			Body: &ir.Store{Buf: tmp, Index: tIdx, Value: ir.CFloat(0)}}}
+	write := ir.Stmt(&ir.Store{Buf: out, Index: []ir.Expr{oc, yy, ox},
+		Value: ir.MaxE(&ir.Load{Buf: tmp, Index: tIdx}, ir.CFloat(0))})
+	write = &ir.For{Var: xxi, Extent: cs(7), Unroll: -1, Body: write}
+	write = &ir.For{Var: ax1i, Extent: cs(1), Unroll: -1, Body: write}
+	body := ir.LoopE(ax1o, c2, ir.LoopE(yy, h2, ir.LoopE(xxo, ir.DivE(w2, cs(7)),
+		ir.Seq(initL, ir.LoopE(rco, ir.DivE(c1, cs(8)), red), write))))
+	k := &ir.Kernel{Name: "p33", Args: []*ir.Buffer{in, wt, out},
+		ScalarArgs: []*ir.Var{c1, h, w, c2}, Body: ir.Seq(&ir.Alloc{Buf: tmp}, body)}
+	return k, k.Validate()
+}

@@ -1,0 +1,187 @@
+package aoc
+
+import (
+	"testing"
+
+	"repro/internal/fpga"
+	"repro/internal/ir"
+)
+
+// These tests pin the cycle-model semantics: perfect-nest flattening, the
+// init/reduce/write block pipelining, serialization costs and the fill clamp.
+// Every table in the evaluation rests on these rules.
+
+func analyzeBody(t *testing.T, name string, args []*ir.Buffer, body ir.Stmt) *KernelModel {
+	t.Helper()
+	k := &ir.Kernel{Name: name, Args: args, Body: body}
+	m, err := Analyze(k, fpga.S10MX, DefaultOptions) // no auto-unroll surprises
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCyclesPerfectNestFlattens(t *testing.T) {
+	// for i in 100 { for j in 50 { out[i][j] = in[i][j] } } — one pipeline,
+	// 5000 iterations at II=1 plus one fill.
+	in := ir.NewBuffer("in", ir.Global, 100, 50)
+	out := ir.NewBuffer("out", ir.Global, 100, 50)
+	i, j := ir.V("i"), ir.V("j")
+	body := ir.Loop(i, 100, ir.Loop(j, 50,
+		&ir.Store{Buf: out, Index: []ir.Expr{i, j}, Value: &ir.Load{Buf: in, Index: []ir.Expr{i, j}}}))
+	m := analyzeBody(t, "copy2d", []*ir.Buffer{in, out}, body)
+	c := m.Cycles(nil)
+	if c < 5000 || c > 5100 {
+		t.Fatalf("perfect nest cycles = %d, want ~5000 + fill", c)
+	}
+}
+
+func TestCyclesInitReduceWriteBlockPipelines(t *testing.T) {
+	// The optimized-conv shape: outer loop whose body is {init leaf, inner
+	// reduction loop, write leaf}. The outer loop must pipeline with
+	// II = steady-state body cycles (no per-iteration fill).
+	in := ir.NewBuffer("in", ir.Global, 64, 16)
+	out := ir.NewBuffer("out", ir.Global, 64)
+	acc := ir.NewBuffer("acc", ir.Private, 1)
+	i, k := ir.V("i"), ir.V("k")
+	z := []ir.Expr{ir.CInt(0)}
+	body := ir.Seq(&ir.Alloc{Buf: acc},
+		ir.Loop(i, 64, ir.Seq(
+			&ir.Store{Buf: acc, Index: z, Value: ir.CFloat(0)},
+			ir.Loop(k, 16, &ir.Store{Buf: acc, Index: z,
+				Value: ir.AddE(&ir.Load{Buf: acc, Index: z}, &ir.Load{Buf: in, Index: []ir.Expr{i, k}})}),
+			&ir.Store{Buf: out, Index: []ir.Expr{i}, Value: &ir.Load{Buf: acc, Index: z}},
+		)))
+	m := analyzeBody(t, "rowsum", []*ir.Buffer{in, out}, body)
+	c := m.Cycles(nil)
+	// Steady state: 64 × (2 leaves + 16×II1) = 64×18 = 1152 plus one fill —
+	// far below the re-fill-per-row cost (64×(42+16+2) ≈ 3840).
+	if c < 1152 || c > 1152+50 {
+		t.Fatalf("block-body pipeline cycles = %d, want ~1152 + fill", c)
+	}
+}
+
+func TestCyclesGlobalAccumulatorII5(t *testing.T) {
+	in := ir.NewBuffer("in", ir.Global, 1000)
+	acc := ir.NewBuffer("acc", ir.Global, 1)
+	i := ir.V("i")
+	z := []ir.Expr{ir.CInt(0)}
+	body := ir.Loop(i, 1000, &ir.Store{Buf: acc, Index: z,
+		Value: ir.AddE(&ir.Load{Buf: acc, Index: z}, &ir.Load{Buf: in, Index: []ir.Expr{i}})})
+	m := analyzeBody(t, "gsum", []*ir.Buffer{in, acc}, body)
+	c := m.Cycles(nil)
+	if c < 5000 || c > 5100 {
+		t.Fatalf("global accumulation cycles = %d, want ~1000x5 + fill", c)
+	}
+}
+
+func TestCyclesFillClampOnShortLoops(t *testing.T) {
+	// A 4-iteration pipeline cannot have a 42-cycle fill.
+	in := ir.NewBuffer("in", ir.Global, 4)
+	out := ir.NewBuffer("out", ir.Global, 4)
+	i := ir.V("i")
+	body := ir.Loop(i, 4, &ir.Store{Buf: out, Index: []ir.Expr{i}, Value: &ir.Load{Buf: in, Index: []ir.Expr{i}}})
+	m := analyzeBody(t, "tiny", []*ir.Buffer{in, out}, body)
+	if c := m.Cycles(nil); c > 4+8+4 {
+		t.Fatalf("short loop cycles = %d, fill must be clamped", c)
+	}
+}
+
+func TestCyclesSerialOuterCostsBodyPerIteration(t *testing.T) {
+	// Naive-conv shape: outer loop serialized by a cross-statement global
+	// RAW. Cycles = trips × (body + overhead).
+	scratch := ir.NewBuffer("s", ir.Global, 16)
+	out := ir.NewBuffer("o", ir.Global, 8, 16)
+	i, j, j2 := ir.V("i"), ir.V("j"), ir.V("j2")
+	body := ir.Loop(i, 8, ir.Seq(
+		ir.Loop(j, 16, &ir.Store{Buf: scratch, Index: []ir.Expr{j}, Value: ir.CFloat(1)}),
+		ir.Loop(j2, 16, &ir.Store{Buf: out, Index: []ir.Expr{i, j2},
+			Value: &ir.Load{Buf: scratch, Index: []ir.Expr{j2}}}),
+	))
+	m := analyzeBody(t, "serial", []*ir.Buffer{scratch, out}, body)
+	c := m.Cycles(nil)
+	// Body ≈ 2 loops of 16 iters + 2 fills ≈ 80; serialized ×8 with overhead.
+	min := int64(8 * (32 + 2))
+	max := int64(8 * (32 + 2*24 + serialLoopOverhead + 10))
+	if c < min || c > max {
+		t.Fatalf("serial outer cycles = %d, want in [%d,%d]", c, min, max)
+	}
+}
+
+func TestCyclesUnrolledLoopIsFree(t *testing.T) {
+	in := ir.NewBuffer("in", ir.Global, 64, 8)
+	out := ir.NewBuffer("out", ir.Global, 64)
+	acc := ir.NewBuffer("acc", ir.Private, 1)
+	i, u := ir.V("i"), ir.V("u")
+	z := []ir.Expr{ir.CInt(0)}
+	mk := func(unroll int) int64 {
+		inner := &ir.For{Var: u, Extent: ir.CInt(8), Unroll: unroll,
+			Body: &ir.Store{Buf: acc, Index: z,
+				Value: ir.AddE(&ir.Load{Buf: acc, Index: z}, &ir.Load{Buf: in, Index: []ir.Expr{i, u}})}}
+		body := ir.Seq(&ir.Alloc{Buf: acc},
+			ir.Loop(i, 64, ir.Seq(
+				&ir.Store{Buf: acc, Index: z, Value: ir.CFloat(0)},
+				inner,
+				&ir.Store{Buf: out, Index: []ir.Expr{i}, Value: &ir.Load{Buf: acc, Index: z}})))
+		return analyzeBody(t, "unr", []*ir.Buffer{in, out}, body).Cycles(nil)
+	}
+	rolled := mk(0)
+	unrolled := mk(-1)
+	// Rolled: 64 x (2 leaves + 8 iters) = 640; unrolled: the reduction is
+	// replicated hardware, 64 x 3 = 192 (both plus one fill).
+	if rolled < 640 || rolled > 700 {
+		t.Fatalf("rolled cycles = %d, want ~640 + fill", rolled)
+	}
+	if unrolled < 192 || unrolled > 250 {
+		t.Fatalf("unrolled cycles = %d, want ~192 + fill", unrolled)
+	}
+	if unrolled*2 > rolled {
+		t.Fatalf("full unroll should clearly win: rolled=%d unrolled=%d", rolled, unrolled)
+	}
+}
+
+func TestTimeUSBandwidthFloorScalesWithBoard(t *testing.T) {
+	// The same kernel is memory-bound on the S10MX (12.8 GB/s) long before
+	// the S10SX (76.8 GB/s).
+	n := 1 << 22
+	in := ir.NewBuffer("in", ir.Global, n)
+	out := ir.NewBuffer("out", ir.Global, n)
+	i := ir.V("i")
+	u := ir.V("u")
+	body := ir.LoopE(i, ir.CInt(int64(n/16)),
+		&ir.For{Var: u, Extent: ir.CInt(16), Unroll: -1,
+			Body: &ir.Store{Buf: out, Index: []ir.Expr{ir.AddE(ir.MulE(i, ir.CInt(16)), u)},
+				Value: &ir.Load{Buf: in, Index: []ir.Expr{ir.AddE(ir.MulE(i, ir.CInt(16)), u)}}}})
+	k := &ir.Kernel{Name: "stream", Args: []*ir.Buffer{in, out}, Body: body}
+	mMX, err := Analyze(k, fpga.S10MX, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSX, err := Analyze(k, fpga.S10SX, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tMX := mMX.TimeUS(nil, 300, fpga.S10MX)
+	tSX := mSX.TimeUS(nil, 300, fpga.S10SX)
+	if tMX < 3*tSX {
+		t.Fatalf("S10MX (12.8GB/s) must be much slower than S10SX (76.8GB/s): %v vs %v", tMX, tSX)
+	}
+}
+
+func TestSymbolicCyclesScaleWithBindings(t *testing.T) {
+	n := ir.Param("n")
+	in := ir.NewBufferE("in", ir.Global, n)
+	out := ir.NewBufferE("out", ir.Global, n)
+	i := ir.V("i")
+	k := &ir.Kernel{Name: "symc", Args: []*ir.Buffer{in, out}, ScalarArgs: []*ir.Var{n},
+		Body: ir.LoopE(i, n, &ir.Store{Buf: out, Index: []ir.Expr{i}, Value: &ir.Load{Buf: in, Index: []ir.Expr{i}}})}
+	m, err := Analyze(k, fpga.S10MX, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := m.Cycles(map[*ir.Var]int64{n: 1000})
+	c2 := m.Cycles(map[*ir.Var]int64{n: 4000})
+	if c2 < 3*c1 {
+		t.Fatalf("symbolic cycles must scale: %d vs %d", c1, c2)
+	}
+}

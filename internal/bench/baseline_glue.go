@@ -1,0 +1,13 @@
+package bench
+
+import "repro/internal/cpuref"
+
+// Thin indirection over the baseline models so experiment code reads
+// uniformly and tests can reach the same numbers.
+
+func cpurefTF(net string) (float64, int, error)    { return cpuref.TFCPUFPS(net) }
+func cpurefTVM(net string, n int) (float64, error) { return cpuref.TVMCPUFPS(net, n) }
+func cpurefGPU(net string) (float64, error)        { return cpuref.GPUFPS(net) }
+func cpurefBestTVM(net string) (int, float64, error) {
+	return cpuref.BestTVMThreads(net)
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/aoc"
+	"repro/internal/dse"
+	"repro/internal/fpga"
+	"repro/internal/host"
+	"repro/internal/nn"
+	"repro/internal/relay"
+)
+
+// GoogLeNetResult is the concat/GoogLeNet feasibility extension.
+type GoogLeNetResult struct {
+	Board         string
+	FPS, GFLOPS   float64
+	FmaxMHz       float64
+	Kernels       int
+	Layers        int
+	Synthesizable bool
+	FailReason    string
+	PWConfig      string
+}
+
+// GoogLeNetFeasibility deploys Inception-v1 through the folded flow with a
+// DSE-chosen tiling — the §1.1 extensibility claim exercised at full scale:
+// a network with an operator (concat) the thesis never deployed, handled
+// with one new compute definition and no hand-designed hardware. Intel DLA
+// (§7) runs GoogLeNet on hand-optimized overlay hardware at hundreds of FPS;
+// this compiler-generated FP32 flow lands, as the thesis would predict, far
+// below that but well above its own naive baseline.
+func GoogLeNetFeasibility() ([]GoogLeNetResult, string, error) {
+	g := nn.GoogLeNet()
+	layers, err := relay.Lower(g)
+	if err != nil {
+		return nil, "", err
+	}
+	var out []GoogLeNetResult
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Extension: GoogLeNet (Inception v1) feasibility via concat ==\n\n")
+	fmt.Fprintf(&b, "GoogLeNet: %d fused layers, %.2fM params, %.2fG FLOPs, 9 inception modules\n\n",
+		len(layers), float64(g.Params())/1e6, float64(g.FLOPs())/1e9)
+	tb := &table{header: []string{"Board", "1x1 tiling (DSE)", "Kernels", "fmax", "FPS", "GFLOPS", "Status"}}
+	for _, board := range []*fpga.Board{fpga.S10SX, fpga.A10} {
+		res, err := dse.Explore(layers, "googlenet", board, 10)
+		if err != nil {
+			return nil, "", err
+		}
+		r := GoogLeNetResult{Board: board.Name, Layers: len(layers)}
+		best, err := res.Best()
+		if err != nil {
+			r.FailReason = "no synthesizable configuration"
+			out = append(out, r)
+			tb.add(board.Name, "-", "-", "-", "-", "-", r.FailReason)
+			continue
+		}
+		dep, err := host.BuildFolded(layers, best.Config, board, aoc.DefaultOptions)
+		if err != nil {
+			return nil, "", err
+		}
+		r.Kernels = len(dep.Design.Kernels)
+		r.FmaxMHz = dep.Design.FmaxMHz
+		r.PWConfig = fmt.Sprintf("%d/%d/%d", best.PW.W2vec, best.PW.C2vec, best.PW.C1vec)
+		if !dep.Design.Synthesizable() {
+			r.FailReason = dep.Design.FailReason
+			out = append(out, r)
+			tb.add(board.Name, r.PWConfig, fmt.Sprintf("%d", r.Kernels), "-", "-", "-", "fails: "+r.FailReason)
+			continue
+		}
+		run, err := dep.Run(2, false)
+		if err != nil {
+			return nil, "", err
+		}
+		r.Synthesizable = true
+		r.FPS = run.FPS
+		r.GFLOPS = run.FPS * float64(g.FLOPs()) / 1e9
+		out = append(out, r)
+		tb.add(board.Name, r.PWConfig, fmt.Sprintf("%d", r.Kernels),
+			fmt.Sprintf("%.0f", r.FmaxMHz), fmtNum(r.FPS), fmtNum(r.GFLOPS), "ok")
+	}
+	b.WriteString(tb.String())
+	b.WriteString("\nConcat lowers to a parameterized offset-copy kernel; the whole network\nfolds onto a handful of compute units. Hand-optimized overlays (Intel DLA,\n§7) reach hundreds of FPS on this workload — the compiler-generated flow\ntrades that headroom for zero hardware engineering, the thesis's thesis.\n")
+	return out, b.String(), nil
+}

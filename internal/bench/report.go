@@ -1,0 +1,109 @@
+// Package bench regenerates every table and figure of the thesis's
+// evaluation chapter (and the appendix) from the simulated flow: the LeNet
+// optimization ladder (Table 6.4 / Figs 6.1–6.2 / Table 6.5), the 1×1
+// convolution tiling sweep (Table 6.6 / Fig 6.3), the folded MobileNet and
+// ResNet deployments with their per-operation profiles (Tables 6.7–6.16,
+// Figs 6.4–6.7), the routing-congestion map (Fig 6.8), the related-work
+// comparisons (Tables 6.17–6.19), the publication-count survey (Fig 7.1)
+// and the buffer-transfer-speed appendix.
+//
+// Every experiment returns both a rendered text report and structured data
+// so tests can assert the thesis's qualitative shapes (who wins, by roughly
+// what factor, where the crossovers fall).
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// table renders an aligned text table.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// barChart renders a horizontal ASCII bar chart (the stand-in for the
+// thesis's column figures).
+func barChart(title string, labels []string, values []float64, unit string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxv := 0.0
+	maxl := 0
+	for i, v := range values {
+		if v > maxv {
+			maxv = v
+		}
+		if len(labels[i]) > maxl {
+			maxl = len(labels[i])
+		}
+	}
+	if maxv <= 0 {
+		maxv = 1
+	}
+	const width = 46
+	for i, v := range values {
+		n := int(math.Round(v / maxv * width))
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "  %-*s |%s %s\n", maxl, labels[i], strings.Repeat("#", n), fmtNum(v)+unit)
+	}
+	return b.String()
+}
+
+func fmtNum(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 0.01:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.0f%%", x*100) }
+
+func speedup(x float64) string { return fmt.Sprintf("%.2fx", x) }

@@ -1,0 +1,363 @@
+// Package clrt is a discrete-event simulator of the Intel OpenCL host
+// runtime as the thesis's custom host program drives it (§5.2): contexts,
+// in-order command queues, device buffers, events with profiling timestamps,
+// host→device/device→host transfers over a shared PCIe link, kernel
+// execution serialized per compute unit, Intel channels coupling concurrent
+// kernels into pipelines, and autorun kernels that run without host control.
+//
+// Time is simulated in microseconds; nothing here consults the wall clock,
+// so every experiment is deterministic. Kernel durations come from the AOC
+// cycle/traffic model; the runtime adds what the runtime really adds —
+// enqueue overhead, dispatch latency, transfer time, queue serialization and
+// profiling costs. Those overheads are exactly the quantities the thesis's
+// Autorun and Concurrent-Execution optimizations attack.
+package clrt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/aoc"
+	"repro/internal/ir"
+)
+
+const (
+	// dispatchUS is the device-side cost of launching a host-controlled
+	// kernel (ID dispatch logic); autorun kernels avoid it (§4.7).
+	dispatchUS = 11.0
+	// stageLatencyUS is the channel hand-off latency between pipelined
+	// kernels (fill of the downstream datapath).
+	stageLatencyUS = 2.0
+	// profilingOverheadUS is added to every command when the OpenCL event
+	// profiler is enabled; profiling also forces blocking semantics (§5.2).
+	profilingOverheadUS = 18.0
+)
+
+// Event mirrors a cl_event with profiling info.
+type Event struct {
+	Kind     string // "write", "read", "kernel"
+	Name     string
+	QueuedUS float64
+	StartUS  float64
+	EndUS    float64
+}
+
+// Duration returns the command's execution span in microseconds.
+func (e *Event) Duration() float64 { return e.EndUS - e.StartUS }
+
+// Buffer is a device-side cl_mem allocation.
+type Buffer struct {
+	Name  string
+	Bytes int
+
+	writeAvail float64 // completion time of the last writer
+	readAvail  float64 // completion time of the last reader
+}
+
+// Context holds one programmed device: the compiled design plus simulation
+// state (PCIe link, per-kernel compute-unit availability, channel dataflow).
+type Context struct {
+	Design *aoc.Design
+	// Profiling enables per-event timestamps and, as in the thesis's host
+	// code, disables asynchronous/concurrent execution benefits by forcing
+	// a sync after every command.
+	Profiling bool
+
+	hostUS    float64
+	pcieAvail float64
+	// kernelAvail serializes executions per compute unit.
+	kernelAvail map[string]float64
+	// chanReady is the time a channel's stream becomes available to a
+	// consumer (producer start + stage latency); chanDone is when the full
+	// stream has been written.
+	chanReady map[*ir.Channel]float64
+	chanDone  map[*ir.Channel]float64
+	events    []*Event
+	queues    []*Queue
+}
+
+// NewContext programs the device with a synthesizable design.
+func NewContext(d *aoc.Design) (*Context, error) {
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("clrt: cannot program device: %w", err)
+	}
+	return &Context{
+		Design:      d,
+		kernelAvail: map[string]float64{},
+		chanReady:   map[*ir.Channel]float64{},
+		chanDone:    map[*ir.Channel]float64{},
+	}, nil
+}
+
+// NewBuffer allocates a device buffer.
+func (c *Context) NewBuffer(name string, bytes int) *Buffer {
+	return &Buffer{Name: name, Bytes: bytes}
+}
+
+// Queue is a command queue. In-order queues serialize their commands; an
+// out-of-order queue (§2.3.2) lets commands run as soon as their explicit
+// event dependencies and buffer hazards allow.
+type Queue struct {
+	ctx     *Context
+	avail   float64
+	inOrder bool
+}
+
+// NewQueue creates an in-order command queue.
+func (c *Context) NewQueue() *Queue {
+	q := &Queue{ctx: c, inOrder: true}
+	c.queues = append(c.queues, q)
+	return q
+}
+
+// NewOutOfOrderQueue creates an out-of-order command queue: commands on it
+// are not serialized against each other; the programmer synchronizes with
+// explicit event wait lists (§2.3.2).
+func (c *Context) NewOutOfOrderQueue() *Queue {
+	q := &Queue{ctx: c}
+	c.queues = append(c.queues, q)
+	return q
+}
+
+// gate returns the queue-ordering constraint for a new command.
+func (q *Queue) gate() float64 {
+	if q.inOrder {
+		return q.avail
+	}
+	return 0
+}
+
+// release records a command's completion on the queue.
+func (q *Queue) release(end float64) {
+	if end > q.avail {
+		q.avail = end
+	}
+}
+
+func (c *Context) record(ev *Event) *Event {
+	c.events = append(c.events, ev)
+	return ev
+}
+
+// host advances the host cursor over one enqueue call and returns the
+// enqueue timestamp. The per-call cost is a property of the platform's host
+// system (fpga.Board.EnqueueUS) — it is the overhead the Autorun
+// optimization eliminates for weight-less kernels (§4.7).
+func (c *Context) host() float64 {
+	c.hostUS += c.Design.Board.EnqueueUS
+	if c.Profiling {
+		c.hostUS += profilingOverheadUS
+	}
+	return c.hostUS
+}
+
+// EnqueueWrite transfers bytes from host to device.
+func (q *Queue) EnqueueWrite(b *Buffer, bytes int) *Event {
+	c := q.ctx
+	queued := c.host()
+	start := math.Max(math.Max(queued, q.gate()), c.pcieAvail)
+	start = math.Max(start, math.Max(b.readAvail, b.writeAvail))
+	dur := c.Design.Board.PCIe.WriteTimeUS(bytes)
+	end := start + dur
+	q.release(end)
+	c.pcieAvail, b.writeAvail = end, end
+	if c.Profiling {
+		c.hostUS = math.Max(c.hostUS, end) // blocking wait for the event
+	}
+	return c.record(&Event{Kind: "write", Name: b.Name, QueuedUS: queued, StartUS: start, EndUS: end})
+}
+
+// EnqueueRead transfers bytes from device to host and blocks the host until
+// complete (the thesis's host reads back results synchronously).
+func (q *Queue) EnqueueRead(b *Buffer, bytes int) *Event {
+	c := q.ctx
+	queued := c.host()
+	start := math.Max(math.Max(queued, q.gate()), c.pcieAvail)
+	start = math.Max(start, b.writeAvail)
+	dur := c.Design.Board.PCIe.ReadTimeUS(bytes)
+	end := start + dur
+	q.release(end)
+	c.pcieAvail, b.readAvail = end, end
+	c.hostUS = math.Max(c.hostUS, end)
+	return c.record(&Event{Kind: "read", Name: b.Name, QueuedUS: queued, StartUS: start, EndUS: end})
+}
+
+// KernelCall describes one kernel invocation.
+type KernelCall struct {
+	Name string
+	// Bindings give values to symbolic shape parameters (parameterized
+	// kernels, §4.9); nil for constant-shape kernels.
+	Bindings map[*ir.Var]int64
+	// Reads/Writes list the global buffers this invocation touches, for
+	// hazard tracking.
+	Reads  []*Buffer
+	Writes []*Buffer
+	// Wait lists events that must complete before the kernel starts (the
+	// explicit synchronization out-of-order queues require, §2.3.2).
+	Wait []*Event
+}
+
+// EnqueueKernel launches a host-controlled kernel. Channel-coupled upstream
+// producers (including autorun kernels) gate its start; its own channel
+// writes become available to downstream consumers one stage-latency after it
+// starts, which is what lets concurrently-enqueued kernels overlap into a
+// pipeline (§4.6/§4.8).
+func (q *Queue) EnqueueKernel(call KernelCall) (*Event, error) {
+	c := q.ctx
+	m := c.Design.Model(call.Name)
+	if m == nil {
+		return nil, fmt.Errorf("clrt: kernel %q not in design %s", call.Name, c.Design.Name)
+	}
+	if m.Kernel.Autorun {
+		return nil, fmt.Errorf("clrt: kernel %q is autorun; it cannot be enqueued", call.Name)
+	}
+	queued := c.host()
+	start := math.Max(queued, q.gate())
+	start = math.Max(start, c.kernelAvail[call.Name])
+	for _, w := range call.Wait {
+		start = math.Max(start, w.EndUS)
+	}
+	for _, b := range call.Reads {
+		start = math.Max(start, b.writeAvail)
+	}
+	for _, b := range call.Writes {
+		start = math.Max(start, math.Max(b.readAvail, b.writeAvail))
+	}
+	reads, writes := m.Kernel.Channels()
+	for _, ch := range reads {
+		if r, ok := c.chanReady[ch]; ok {
+			start = math.Max(start, r)
+		}
+	}
+	dur := m.TimeUS(call.Bindings, c.Design.FmaxMHz, c.Design.Board) + dispatchUS
+	end := start + dur
+	// A channel consumer cannot finish before its producers have finished
+	// producing (unequal rates stall the pipeline, §4.6).
+	for _, ch := range reads {
+		if d, ok := c.chanDone[ch]; ok {
+			end = math.Max(end, d+stageLatencyUS)
+		}
+	}
+	q.release(end)
+	c.kernelAvail[call.Name] = end
+	for _, b := range call.Reads {
+		b.readAvail = math.Max(b.readAvail, end)
+	}
+	for _, b := range call.Writes {
+		b.writeAvail = end
+	}
+	for _, ch := range writes {
+		c.chanReady[ch] = start + stageLatencyUS
+		c.chanDone[ch] = end
+	}
+	if c.Profiling {
+		c.hostUS = math.Max(c.hostUS, end)
+	}
+	ev := c.record(&Event{Kind: "kernel", Name: call.Name, QueuedUS: queued, StartUS: start, EndUS: end})
+	c.runAutorun(ev)
+	return ev, nil
+}
+
+// runAutorun propagates data through autorun kernels downstream of a just-
+// executed producer: they consume from channels as data arrives and publish
+// their own outputs, without any host interaction (§4.7).
+func (c *Context) runAutorun(producer *Event) {
+	// Iterate to a fixed point over autorun kernels whose input channels got
+	// fresh data.
+	for changed := true; changed; {
+		changed = false
+		for _, m := range c.Design.Kernels {
+			if !m.Kernel.Autorun {
+				continue
+			}
+			reads, writes := m.Kernel.Channels()
+			if len(reads) == 0 {
+				continue
+			}
+			start := 0.0
+			ok := true
+			for _, ch := range reads {
+				r, has := c.chanReady[ch]
+				if !has {
+					ok = false
+					break
+				}
+				start = math.Max(start, r)
+			}
+			if !ok {
+				continue
+			}
+			dur := m.TimeUS(nil, c.Design.FmaxMHz, c.Design.Board)
+			end := start + dur
+			for _, ch := range reads {
+				if d, has := c.chanDone[ch]; has {
+					end = math.Max(end, d+stageLatencyUS)
+				}
+			}
+			for _, ch := range writes {
+				nr := start + stageLatencyUS
+				nd := end
+				if c.chanReady[ch] != nr || c.chanDone[ch] != nd {
+					c.chanReady[ch], c.chanDone[ch] = nr, nd
+					changed = true
+				}
+			}
+			if len(writes) == 0 && end > producer.EndUS {
+				// Terminal autorun consumer extends the pipeline.
+				producer.EndUS = end
+			}
+		}
+	}
+}
+
+// Finish blocks the host until all queues drain (clFinish on every queue).
+func (c *Context) Finish() {
+	for _, q := range c.queues {
+		c.hostUS = math.Max(c.hostUS, q.avail)
+	}
+	c.hostUS = math.Max(c.hostUS, c.pcieAvail)
+	for _, t := range c.kernelAvail {
+		c.hostUS = math.Max(c.hostUS, t)
+	}
+	for _, d := range c.chanDone {
+		c.hostUS = math.Max(c.hostUS, d)
+	}
+}
+
+// ElapsedUS is the current simulated host time.
+func (c *Context) ElapsedUS() float64 { return c.hostUS }
+
+// Events returns all recorded events in enqueue order.
+func (c *Context) Events() []*Event { return c.events }
+
+// Breakdown sums event durations by kind, for the Fig. 6.2 profile.
+func (c *Context) Breakdown() map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range c.events {
+		out[e.Kind] += e.Duration()
+	}
+	return out
+}
+
+// BreakdownByName sums kernel event durations per kernel name, for the
+// per-operation profiles of Tables 6.8/6.16.
+func (c *Context) BreakdownByName() map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range c.events {
+		if e.Kind == "kernel" {
+			out[e.Name] += e.Duration()
+		}
+	}
+	return out
+}
+
+// SortedKinds returns breakdown keys in deterministic order.
+func SortedKinds(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

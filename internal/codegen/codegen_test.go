@@ -1,0 +1,120 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/topi"
+)
+
+func TestKernelEmitsPragmasAndSignature(t *testing.T) {
+	op, err := topi.Conv2D(
+		topi.ConvSpec{Name: "conv2d_opt", C1: 8, H: 16, W: 16, C2: 8, F: 3, S: 1, Relu: true},
+		topi.OptSched(7, 2, 4), topi.ConvIO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Kernel(op.Kernel)
+	for _, want := range []string{
+		"kernel void conv2d_opt(",
+		"global float* restrict conv2d_opt_in",
+		"#pragma unroll",
+		"float conv2d_opt_tmp[14];", // private write cache C2vec*W2vec
+		"max(",                      // fused ReLU
+	} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("generated source missing %q:\n%s", want, src)
+		}
+	}
+	if strings.Contains(src, "read_channel_intel") {
+		t.Fatal("buffered conv must not use channels")
+	}
+}
+
+func TestProgramEmitsChannelsAndAutorun(t *testing.T) {
+	ch1 := &ir.Channel{Name: "c0", Depth: 512}
+	ch2 := &ir.Channel{Name: "c1"}
+	conv, err := topi.Conv2D(
+		topi.ConvSpec{Name: "conv1", C1: 1, H: 12, W: 12, C2: 4, F: 3, S: 1, Relu: true},
+		topi.OptSched(1, 1, 1), topi.ConvIO{OutCh: ch1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := topi.Pool2D(topi.PoolSpec{Name: "pool1", C: 4, H: 10, W: 10, F: 2, S: 2},
+		false, topi.ConvIO{InCh: ch1, OutCh: ch2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Program([]*ir.Kernel{conv.Kernel, pool.Kernel})
+	for _, want := range []string{
+		"#pragma OPENCL EXTENSION cl_intel_channels : enable",
+		"channel float c0 __attribute__((depth(512)));",
+		"channel float c1;",
+		"__attribute__((autorun))",
+		"__attribute__((max_global_work_dim(0)))",
+		"write_channel_intel(c0,",
+		"read_channel_intel(c0)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("program missing %q:\n%s", want, src)
+		}
+	}
+	// Channel declared once even though used by two kernels.
+	if strings.Count(src, "channel float c0") != 1 {
+		t.Fatal("channel c0 declared more than once")
+	}
+}
+
+func TestSymbolicKernelSignature(t *testing.T) {
+	pc, err := topi.ConvParam("pconv", 3, 1, topi.OptSched(1, 1, 1), true, false, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Kernel(pc.Op.Kernel)
+	for _, want := range []string{"int pconv_c1", "int pconv_h", "int pconv_w", "int pconv_c2"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("symbolic kernel missing scalar arg %q:\n%s", want, src)
+		}
+	}
+	// Loop bounds reference the symbolic parameters.
+	if !strings.Contains(src, "pconv_c2") || !strings.Contains(src, "for (int") {
+		t.Fatal("symbolic loop bounds missing")
+	}
+}
+
+func TestNaiveDenseMatchesListing55Shape(t *testing.T) {
+	op, err := topi.Dense(topi.DenseSpec{Name: "fc", N: 400, M: 120, Bias: true}, true, 1, topi.ConvIO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Kernel(op.Kernel)
+	// The naive dense keeps its dot scratchpad as a global argument
+	// (Listing 5.5's dot[0]).
+	if !strings.Contains(src, "global float* restrict fc_dot") {
+		t.Fatalf("naive dense must keep global scratchpad:\n%s", src)
+	}
+}
+
+func TestFlatIndexLinearization(t *testing.T) {
+	b := ir.NewBuffer("b", ir.Global, 4, 5, 6)
+	i, j, k := ir.V("i"), ir.V("j"), ir.V("k")
+	kern := &ir.Kernel{Name: "t", Args: []*ir.Buffer{b},
+		Body: ir.Loop(i, 4, ir.Loop(j, 5, ir.Loop(k, 6,
+			&ir.Store{Buf: b, Index: []ir.Expr{i, j, k}, Value: ir.CFloat(0)})))}
+	src := Kernel(kern)
+	if !strings.Contains(src, "(((i * 5) + j) * 6) + k") {
+		t.Fatalf("row-major linearization wrong:\n%s", src)
+	}
+}
+
+func TestPadKernelSelect(t *testing.T) {
+	op, err := topi.Pad2D(topi.PadSpec{Name: "pad", C: 2, H: 4, W: 4, P: 1}, topi.ConvIO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Kernel(op.Kernel)
+	if !strings.Contains(src, "?") || !strings.Contains(src, "%") {
+		t.Fatalf("pad kernel must show select + modulo addressing:\n%s", src)
+	}
+}

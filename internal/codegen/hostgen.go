@@ -1,0 +1,135 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// HostProgram generates the skeleton of the thesis's custom OpenCL C++ host
+// program (§5.2) for a set of kernels: context/program setup, buffer
+// creation, kernel and command-queue creation (one queue per kernel when
+// concurrent execution is requested), argument binding and the per-image
+// enqueue loop. Autorun kernels are — correctly — never launched.
+//
+// The output is an artifact for inspection and porting to real hardware; the
+// simulation executes through internal/clrt instead.
+func HostProgram(programName string, kernels []*ir.Kernel, concurrent bool) string {
+	var b strings.Builder
+	w := func(format string, args ...interface{}) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	w("// Generated host program for %s. Mirrors the custom host runtime of §5.2:", programName)
+	w("// parameter loading, per-kernel command queues (concurrent execution: %v),", concurrent)
+	w("// asynchronous enqueueing and output readback.")
+	w("#include <CL/cl.h>")
+	w("#include <cstdio>")
+	w("#include <cstdlib>")
+	w("#include <vector>")
+	w("")
+	w("#define CHECK(err) do { if ((err) != CL_SUCCESS) { fprintf(stderr, \"CL error %%d at %%s:%%d\\n\", err, __FILE__, __LINE__); exit(1); } } while (0)")
+	w("")
+	w("int main() {")
+	w("  cl_int err;")
+	w("  cl_platform_id platform; CHECK(clGetPlatformIDs(1, &platform, nullptr));")
+	w("  cl_device_id device; CHECK(clGetDeviceIDs(platform, CL_DEVICE_TYPE_ACCELERATOR, 1, &device, nullptr));")
+	w("  cl_context ctx = clCreateContext(nullptr, 1, &device, nullptr, nullptr, &err); CHECK(err);")
+	w("")
+	w("  // Program the FPGA with the offline-compiled bitstream (%s.aocx).", programName)
+	w("  std::vector<unsigned char> binary = load_file(\"%s.aocx\");", programName)
+	w("  const unsigned char* binPtr = binary.data(); size_t binLen = binary.size();")
+	w("  cl_program program = clCreateProgramWithBinary(ctx, 1, &device, &binLen, &binPtr, nullptr, &err); CHECK(err);")
+	w("  CHECK(clBuildProgram(program, 1, &device, \"\", nullptr, nullptr));")
+	w("")
+
+	// Buffers: every distinct global argument across kernels.
+	seen := map[*ir.Buffer]bool{}
+	var bufs []*ir.Buffer
+	for _, k := range kernels {
+		for _, a := range k.Args {
+			if !seen[a] {
+				seen[a] = true
+				bufs = append(bufs, a)
+			}
+		}
+	}
+	w("  // Device buffers (sizes in bytes; symbolic extents use worst-case bounds).")
+	for _, buf := range bufs {
+		if n, ok := buf.ConstLen(); ok {
+			w("  cl_mem %s = clCreateBuffer(ctx, CL_MEM_READ_WRITE, %d, nullptr, &err); CHECK(err);", buf.Name, n*4)
+		} else {
+			w("  cl_mem %s = clCreateBuffer(ctx, CL_MEM_READ_WRITE, %s_MAX_BYTES, nullptr, &err); CHECK(err);", buf.Name, strings.ToUpper(buf.Name))
+		}
+	}
+	w("")
+
+	w("  // Kernels and command queues. Autorun kernels need neither.")
+	for _, k := range kernels {
+		if k.Autorun {
+			w("  // %s: autorun — executes without host control (§4.7).", k.Name)
+			continue
+		}
+		w("  cl_kernel k_%s = clCreateKernel(program, \"%s\", &err); CHECK(err);", k.Name, k.Name)
+		if concurrent {
+			w("  cl_command_queue q_%s = clCreateCommandQueue(ctx, device, 0, &err); CHECK(err);", k.Name)
+		}
+	}
+	if !concurrent {
+		w("  cl_command_queue q = clCreateCommandQueue(ctx, device, 0, &err); CHECK(err);")
+	}
+	w("")
+
+	w("  // Argument binding.")
+	for _, k := range kernels {
+		if k.Autorun {
+			continue
+		}
+		for i, a := range k.Args {
+			w("  CHECK(clSetKernelArg(k_%s, %d, sizeof(cl_mem), &%s));", k.Name, i, a.Name)
+		}
+		for j, sv := range k.ScalarArgs {
+			w("  CHECK(clSetKernelArg(k_%s, %d, sizeof(cl_int), &%s)); // runtime shape", k.Name, len(k.Args)+j, sv.Name)
+		}
+	}
+	w("")
+
+	w("  // Per-image loop: write inputs, launch every host-controlled kernel")
+	w("  // asynchronously, read the result back.")
+	w("  for (int img = 0; img < NUM_IMAGES; ++img) {")
+	if len(bufs) > 0 {
+		first := bufs[0]
+		w("    CHECK(clEnqueueWriteBuffer(%s, %s, CL_FALSE, 0, INPUT_BYTES, input_host, 0, nullptr, nullptr));",
+			queueName(kernels, concurrent), first.Name)
+	}
+	for _, k := range kernels {
+		if k.Autorun {
+			continue
+		}
+		q := "q"
+		if concurrent {
+			q = "q_" + k.Name
+		}
+		w("    CHECK(clEnqueueTask(%s, k_%s, 0, nullptr, nullptr));", q, k.Name)
+	}
+	if len(bufs) > 0 {
+		last := bufs[len(bufs)-1]
+		w("    CHECK(clEnqueueReadBuffer(%s, %s, CL_TRUE, 0, OUTPUT_BYTES, output_host, 0, nullptr, nullptr));",
+			queueName(kernels, concurrent), last.Name)
+	}
+	w("  }")
+	w("  return 0;")
+	w("}")
+	return b.String()
+}
+
+func queueName(kernels []*ir.Kernel, concurrent bool) string {
+	if !concurrent {
+		return "q"
+	}
+	for _, k := range kernels {
+		if !k.Autorun {
+			return "q_" + k.Name
+		}
+	}
+	return "q"
+}

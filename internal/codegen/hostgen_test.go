@@ -1,0 +1,71 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/topi"
+)
+
+func hostKernels(t *testing.T) []*ir.Kernel {
+	t.Helper()
+	ch := &ir.Channel{Name: "c0", Depth: 64}
+	conv, err := topi.Conv2D(
+		topi.ConvSpec{Name: "conv1", C1: 1, H: 10, W: 10, C2: 2, F: 3, S: 1, Relu: true, Bias: true},
+		topi.OptSched(1, 1, 1), topi.ConvIO{OutCh: ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := topi.Pool2D(topi.PoolSpec{Name: "pool1", C: 2, H: 8, W: 8, F: 2, S: 2},
+		false, topi.ConvIO{InCh: ch, OutCh: &ir.Channel{Name: "c1"}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*ir.Kernel{conv.Kernel, pool.Kernel}
+}
+
+func TestHostProgramConcurrent(t *testing.T) {
+	src := HostProgram("lenet", hostKernels(t), true)
+	for _, want := range []string{
+		`clCreateProgramWithBinary`,
+		`load_file("lenet.aocx")`,
+		"cl_kernel k_conv1",
+		"cl_command_queue q_conv1",
+		"clSetKernelArg(k_conv1, 0, sizeof(cl_mem), &conv1_in)",
+		"clEnqueueTask(q_conv1, k_conv1",
+		"autorun — executes without host control",
+	} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("host program missing %q:\n%s", want, src)
+		}
+	}
+	// The autorun pool must never be launched or given a queue.
+	if strings.Contains(src, "k_pool1") || strings.Contains(src, "q_pool1") {
+		t.Fatalf("autorun kernel must not be created/launched:\n%s", src)
+	}
+}
+
+func TestHostProgramSerialQueue(t *testing.T) {
+	src := HostProgram("lenet", hostKernels(t), false)
+	if !strings.Contains(src, "cl_command_queue q =") {
+		t.Fatal("serial mode must create a single queue")
+	}
+	if strings.Contains(src, "q_conv1") {
+		t.Fatal("serial mode must not create per-kernel queues")
+	}
+}
+
+func TestHostProgramSymbolicShapes(t *testing.T) {
+	pc, err := topi.ConvParam("pconv", 3, 1, topi.OptSched(1, 1, 1), true, false, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := HostProgram("folded", []*ir.Kernel{pc.Op.Kernel}, false)
+	if !strings.Contains(src, "PCONV_IN_MAX_BYTES") {
+		t.Fatalf("symbolic buffers need worst-case sizing:\n%s", src)
+	}
+	if !strings.Contains(src, "sizeof(cl_int), &pconv_c1") {
+		t.Fatalf("scalar shape arguments must be bound:\n%s", src)
+	}
+}

@@ -1,0 +1,134 @@
+package cpuref
+
+// Quantized inference support for the §8.1 future-work projection: symmetric
+// per-tensor int8 quantization with int32 accumulation, the arithmetic an
+// int8 FPGA deployment would implement (two packed multiplies per DSP in
+// 18x18 mode). These functions are the functional counterpart of the
+// aoc.Options.Int8 analysis mode.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// QTensor is a symmetric per-tensor-quantized int8 tensor: real ≈ scale*q.
+type QTensor struct {
+	Shape []int
+	Data  []int8
+	Scale float32
+}
+
+// Quantize converts a float tensor to int8 with a symmetric scale chosen
+// from its max magnitude.
+func Quantize(t *tensor.Tensor) *QTensor {
+	maxAbs := float32(0)
+	for _, v := range t.Data {
+		if a := float32(math.Abs(float64(v))); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := maxAbs / 127
+	if scale == 0 {
+		scale = 1
+	}
+	q := &QTensor{Shape: append([]int(nil), t.Shape...), Data: make([]int8, len(t.Data)), Scale: scale}
+	for i, v := range t.Data {
+		r := math.Round(float64(v / scale))
+		if r > 127 {
+			r = 127
+		}
+		if r < -128 {
+			r = -128
+		}
+		q.Data[i] = int8(r)
+	}
+	return q
+}
+
+// Dequantize converts back to float32.
+func (q *QTensor) Dequantize() *tensor.Tensor {
+	t := tensor.New(q.Shape...)
+	for i, v := range q.Data {
+		t.Data[i] = float32(v) * q.Scale
+	}
+	return t
+}
+
+// QuantConv2D computes an int8 convolution with int32 accumulation and a
+// float bias, returning a dequantized float output (with optional ReLU).
+// in: [C1,H1,W1]; w: [C2,C1,F,F].
+func QuantConv2D(in, w *QTensor, bias *tensor.Tensor, s, p int, relu bool) (*tensor.Tensor, error) {
+	if len(in.Shape) != 3 || len(w.Shape) != 4 {
+		return nil, fmt.Errorf("cpuref: quant conv expects [C,H,W] and [K,C,F,F]")
+	}
+	c1, h1, w1 := in.Shape[0], in.Shape[1], in.Shape[2]
+	c2, f := w.Shape[0], w.Shape[2]
+	if w.Shape[1] != c1 {
+		return nil, fmt.Errorf("cpuref: quant conv channel mismatch")
+	}
+	h2 := (h1-f+2*p)/s + 1
+	w2 := (w1-f+2*p)/s + 1
+	out := tensor.New(c2, h2, w2)
+	rescale := in.Scale * w.Scale
+	idxIn := func(c, y, x int) int { return (c*h1+y)*w1 + x }
+	idxW := func(k, c, fy, fx int) int { return ((k*c1+c)*f+fy)*f + fx }
+	for k := 0; k < c2; k++ {
+		var b float32
+		if bias != nil {
+			b = bias.At(k)
+		}
+		for y := 0; y < h2; y++ {
+			for x := 0; x < w2; x++ {
+				var acc int32
+				for c := 0; c < c1; c++ {
+					for fy := 0; fy < f; fy++ {
+						iy := s*y + fy - p
+						if iy < 0 || iy >= h1 {
+							continue
+						}
+						for fx := 0; fx < f; fx++ {
+							ix := s*x + fx - p
+							if ix < 0 || ix >= w1 {
+								continue
+							}
+							acc += int32(in.Data[idxIn(c, iy, ix)]) * int32(w.Data[idxW(k, c, fy, fx)])
+						}
+					}
+				}
+				v := float32(acc)*rescale + b
+				if relu && v < 0 {
+					v = 0
+				}
+				out.Set(v, k, y, x)
+			}
+		}
+	}
+	return out, nil
+}
+
+// QuantDense computes an int8 dense layer (int32 accumulation, float bias).
+func QuantDense(in, w *QTensor, bias *tensor.Tensor, relu bool) (*tensor.Tensor, error) {
+	if len(in.Shape) != 1 || len(w.Shape) != 2 || w.Shape[1] != in.Shape[0] {
+		return nil, fmt.Errorf("cpuref: quant dense shape mismatch")
+	}
+	m, n := w.Shape[0], w.Shape[1]
+	out := tensor.New(m)
+	rescale := in.Scale * w.Scale
+	for j := 0; j < m; j++ {
+		var acc int32
+		for k := 0; k < n; k++ {
+			acc += int32(in.Data[k]) * int32(w.Data[j*n+k])
+		}
+		v := float32(acc) * rescale
+		if bias != nil {
+			v += bias.At(j)
+		}
+		if relu && v < 0 {
+			v = 0
+		}
+		out.Set(v, j)
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package cpuref
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	x := tensor.New(64)
+	x.FillSeq(3)
+	q := Quantize(x)
+	back := q.Dequantize()
+	// Symmetric int8: worst-case error is half a step.
+	if d := tensor.MaxAbsDiff(x, back); d > float64(q.Scale)*0.51 {
+		t.Fatalf("round-trip error %v exceeds half a quantization step (%v)", d, q.Scale)
+	}
+}
+
+func TestQuantizeZeroTensor(t *testing.T) {
+	x := tensor.New(8)
+	q := Quantize(x)
+	for _, v := range q.Data {
+		if v != 0 {
+			t.Fatal("zero tensor must quantize to zeros")
+		}
+	}
+	if q.Scale <= 0 {
+		t.Fatal("scale must stay positive")
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	x := tensor.FromData([]float32{-1, 1}, 2)
+	q := Quantize(x)
+	if q.Data[0] != -127 || q.Data[1] != 127 {
+		t.Fatalf("extremes should map near ±127, got %v", q.Data)
+	}
+}
+
+func TestQuantConv2DApproximatesFloat(t *testing.T) {
+	in := tensor.New(4, 10, 10)
+	in.FillSeq(5)
+	w := tensor.New(6, 4, 3, 3)
+	w.FillSeq(6)
+	scaleDown(w, 0.2)
+	bias := tensor.New(6)
+	bias.FillSeq(7)
+	scaleDown(bias, 0.1)
+
+	want := Conv2D(in, w, bias, 1, 1, true)
+	got, err := QuantConv2D(Quantize(in), Quantize(w), bias, 1, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// int8 error budget: relative tolerance on a [~-2,2] output range.
+	if !tensor.AllClose(got, want, 0.05) {
+		t.Fatalf("quantized conv error too large: %v", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+func TestQuantDenseApproximatesFloat(t *testing.T) {
+	in := tensor.New(64)
+	in.FillSeq(9)
+	w := tensor.New(10, 64)
+	w.FillSeq(10)
+	scaleDown(w, 0.15)
+	b := tensor.New(10)
+	b.FillSeq(11)
+	scaleDown(b, 0.1)
+	want := Dense(in, w, b, false)
+	got, err := QuantDense(Quantize(in), Quantize(w), b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(got, want, 0.05) {
+		t.Fatalf("quantized dense error too large: %v", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+func TestQuantShapeErrors(t *testing.T) {
+	a := Quantize(tensor.New(4))
+	b := Quantize(tensor.New(3, 4))
+	if _, err := QuantConv2D(a, b, nil, 1, 0, false); err == nil {
+		t.Fatal("bad ranks must error")
+	}
+	if _, err := QuantDense(a, Quantize(tensor.New(5, 7)), nil, false); err == nil {
+		t.Fatal("dense shape mismatch must error")
+	}
+}
+
+// Property: quantization never increases magnitude beyond the original max.
+func TestQuickQuantBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := tensor.New(33)
+		x.FillSeq(seed)
+		q := Quantize(x)
+		maxAbs := 0.0
+		for _, v := range x.Data {
+			if a := math.Abs(float64(v)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		for _, v := range q.Dequantize().Data {
+			if math.Abs(float64(v)) > maxAbs+float64(q.Scale) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func scaleDown(t *tensor.Tensor, s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// Quantized LeNet end to end: the int8 chain must classify every digit the
+// same way as the float32 reference (the §8.1 deployment's accuracy story).
+func TestQuantLeNetClassificationConsistency(t *testing.T) {
+	// Build a small LeNet-like float chain directly from ops to avoid an
+	// import cycle with internal/nn.
+	convW := tensor.New(6, 1, 3, 3)
+	convW.FillSeq(100)
+	scaleDown(convW, 0.3)
+	convB := tensor.New(6)
+	convB.FillSeq(101)
+	scaleDown(convB, 0.1)
+	fcW := tensor.New(10, 6*13*13)
+	fcW.FillSeq(102)
+	scaleDown(fcW, 0.05)
+	fcB := tensor.New(10)
+	fcB.FillSeq(103)
+	scaleDown(fcB, 0.1)
+
+	mismatches := 0
+	for seed := uint64(0); seed < 10; seed++ {
+		in := tensor.New(1, 28, 28)
+		in.FillSeq(seed)
+		for i := range in.Data {
+			in.Data[i] = (in.Data[i] + 1) / 2
+		}
+		fx := MaxPool2D(Conv2D(in, convW, convB, 1, 0, true), 2, 2)
+		fref := Softmax(Dense(fx.Reshape(6*13*13), fcW, fcB, false))
+
+		qc, err := QuantConv2D(Quantize(in), Quantize(convW), convB, 1, 0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qx := MaxPool2D(qc, 2, 2)
+		qd, err := QuantDense(Quantize(qx.Reshape(6*13*13)), Quantize(fcW), fcB, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qref := Softmax(qd)
+		if fref.ArgMax() != qref.ArgMax() {
+			mismatches++
+		}
+	}
+	// int8 may flip genuinely borderline inputs; on these synthetic cases it
+	// should almost never disagree.
+	if mismatches > 1 {
+		t.Fatalf("quantized chain flips %d/10 classifications", mismatches)
+	}
+}

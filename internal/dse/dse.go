@@ -1,0 +1,350 @@
+// Package dse implements the design-space explorer the thesis leaves to
+// future work (§4.11: "A design space explorer would benefit the performance
+// of work by maximizing overall network performance and resource utilization
+// rather than the performance of individual layers. We leave resource
+// modeling and exploration for a DSE to future work.").
+//
+// Given a lowered network and a board, the explorer enumerates tiling
+// configurations that satisfy the thesis's factor-selection rules (§4.11):
+//
+//  1. the unroll width must not exceed what external memory bandwidth can
+//     feed at the design clock;
+//  2. factors must evenly divide every layer's extent they tile (no
+//     epilogues);
+//  3. the design must fit — and, beyond the thesis's list, must route.
+//
+// Candidates are ranked by the modeled end-to-end forward-pass time of the
+// folded deployment, using exactly the same AOC model the evaluation uses,
+// so the search optimizes whole-network throughput rather than a single
+// kernel's.
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/aoc"
+	"repro/internal/fpga"
+	"repro/internal/host"
+	"repro/internal/ir"
+	"repro/internal/relay"
+	"repro/internal/topi"
+)
+
+// Candidate is one evaluated configuration.
+type Candidate struct {
+	Config host.FoldedConfig
+	// PW is the 1x1-convolution tiling (the dominant knob).
+	PW topi.ConvSched
+	// Conv33 is the 3x3-convolution tiling when the network has general 3x3
+	// layers beyond the stem.
+	Conv33 topi.ConvSched
+
+	Synthesizable bool
+	FailReason    string
+	FmaxMHz       float64
+	DSPs          int
+	LogicFrac     float64
+	// TimeUS is the modeled forward-pass time (sum of kernel times; the
+	// ranking objective).
+	TimeUS float64
+}
+
+// Result is the explorer's outcome.
+type Result struct {
+	Board      *fpga.Board
+	Net        string
+	Candidates []Candidate // sorted: synthesizable first, fastest first
+	Evaluated  int
+	Pruned     int // rejected before compilation (divisibility/bandwidth)
+}
+
+// Best returns the fastest synthesizable candidate.
+func (r *Result) Best() (*Candidate, error) {
+	for i := range r.Candidates {
+		if r.Candidates[i].Synthesizable {
+			return &r.Candidates[i], nil
+		}
+	}
+	return nil, fmt.Errorf("dse: no synthesizable configuration for %s on %s", r.Net, r.Board.Name)
+}
+
+// layerFacts summarizes the constraints the network's layers impose.
+type layerFacts struct {
+	// common divisors per tiled dimension across all layers of a group.
+	pwW2, pwC2, pwC1 int
+	c33W2, c33C1     int
+	hasPW, has33     bool
+	// strided 1x1 projections (ResNet shortcuts).
+	projC1   int
+	hasProj  bool
+	dwW2     int
+	hasDW    bool
+	denseN   int
+	hasDense bool
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func gatherFacts(layers []*relay.Layer) layerFacts {
+	f := layerFacts{}
+	acc := func(cur *int, v int) {
+		if *cur == 0 {
+			*cur = v
+		} else {
+			*cur = gcd(*cur, v)
+		}
+	}
+	for _, l := range layers {
+		switch l.Kind {
+		case relay.KConv:
+			w2 := l.OutShape[2]
+			switch {
+			case l.F == 1 && l.S == 1:
+				f.hasPW = true
+				acc(&f.pwW2, w2)
+				acc(&f.pwC2, l.OutShape[0])
+				acc(&f.pwC1, l.InShape[0])
+			case l.F == 1:
+				f.hasProj = true
+				acc(&f.projC1, l.InShape[0])
+			case l.F == 3:
+				f.has33 = true
+				acc(&f.c33W2, w2)
+				acc(&f.c33C1, l.InShape[0])
+			}
+		case relay.KDepthwise:
+			f.hasDW = true
+			acc(&f.dwW2, l.OutShape[2])
+		case relay.KDense:
+			f.hasDense = true
+			acc(&f.denseN, l.InShape[0])
+		}
+	}
+	return f
+}
+
+// divisorsOf returns the divisors of n not exceeding cap, ascending.
+func divisorsOf(n, cap int) []int {
+	var out []int
+	for d := 1; d <= n && d <= cap; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Explore enumerates and ranks configurations for a network on a board.
+// maxCandidates bounds the number of compiled designs (the expensive step);
+// enumeration order prefers balanced tilings first.
+func Explore(layers []*relay.Layer, net string, board *fpga.Board, maxCandidates int) (*Result, error) {
+	if maxCandidates <= 0 {
+		maxCandidates = 64
+	}
+	facts := gatherFacts(layers)
+	res := &Result{Board: board, Net: net}
+
+	// Rule 1 (§4.11): the widest memory access must not exceed the memory
+	// system's bytes/cycle at a conservative clock.
+	maxFloats := int(board.BytesPerCycleAt(board.BaseFmaxMHz*0.7) / 4)
+
+	type pwCfg struct{ w2, c2, c1 int }
+	var pws []pwCfg
+	if facts.hasPW {
+		for _, w2 := range divisorsOf(facts.pwW2, 14) {
+			for _, c2 := range divisorsOf(facts.pwC2, 64) {
+				for _, c1 := range divisorsOf(facts.pwC1, 32) {
+					if w2*c1 > 4*maxFloats || w2 < 2 {
+						res.Pruned++
+						continue
+					}
+					pws = append(pws, pwCfg{w2, c2, c1})
+				}
+			}
+		}
+	} else {
+		pws = []pwCfg{{1, 1, 1}}
+	}
+	// Prefer larger total unroll first (throughput), break ties toward
+	// balanced C2/C1.
+	sort.Slice(pws, func(i, j int) bool {
+		vi := pws[i].w2 * pws[i].c2 * pws[i].c1
+		vj := pws[j].w2 * pws[j].c2 * pws[j].c1
+		if vi != vj {
+			return vi > vj
+		}
+		di := abs(pws[i].c2 - pws[i].c1)
+		dj := abs(pws[j].c2 - pws[j].c1)
+		return di < dj
+	})
+
+	var c33s []topi.ConvSched
+	if facts.has33 {
+		for _, w2 := range divisorsOf(facts.c33W2, 7) {
+			for _, c1 := range divisorsOf(facts.c33C1, 16) {
+				if w2*c1*9 > 16*maxFloats {
+					res.Pruned++
+					continue
+				}
+				c33s = append(c33s, topi.OptSched(w2, 1, c1))
+			}
+		}
+		sort.Slice(c33s, func(i, j int) bool {
+			return c33s[i].W2vec*c33s[i].C1vec > c33s[j].W2vec*c33s[j].C1vec
+		})
+		if len(c33s) > 4 {
+			c33s = c33s[:4] // the 3x3 knob is secondary; keep the frontier
+		}
+	} else {
+		c33s = []topi.ConvSched{topi.OptSched(1, 1, 1)}
+	}
+
+	denseVec := 1
+	if facts.hasDense {
+		dv := divisorsOf(facts.denseN, 32)
+		denseVec = dv[len(dv)-1]
+	}
+	dwVec := 1
+	if facts.hasDW {
+		dw := divisorsOf(facts.dwW2, 7)
+		dwVec = dw[len(dw)-1]
+	}
+
+	for _, pw := range pws {
+		// Cheap feasibility pre-check: the dominant kernel compiled alone.
+		// A 1x1 kernel that cannot route by itself can never route inside
+		// the full design, so skip the expensive whole-network build.
+		if facts.hasPW {
+			probe, err := topi.ConvParam("dse_probe", 1, 1,
+				topi.OptSched(pw.w2, pw.c2, pw.c1), true, true, false, true)
+			if err != nil {
+				res.Pruned++
+				continue
+			}
+			pd, err := aoc.Compile("dse-probe", []*ir.Kernel{probe.Op.Kernel}, board, aoc.DefaultOptions)
+			if err != nil {
+				return nil, err
+			}
+			if !pd.Synthesizable() {
+				res.Pruned++
+				continue
+			}
+		}
+		for _, c33 := range c33s {
+			if res.Evaluated >= maxCandidates {
+				break
+			}
+			cfg := buildConfig(layers, facts, pw.w2, pw.c2, pw.c1, c33, dwVec, denseVec)
+			cand, err := evaluate(layers, cfg, board)
+			if err != nil {
+				return nil, err
+			}
+			cand.PW = topi.OptSched(pw.w2, pw.c2, pw.c1)
+			cand.Conv33 = c33
+			res.Candidates = append(res.Candidates, *cand)
+			res.Evaluated++
+		}
+		if res.Evaluated >= maxCandidates {
+			break
+		}
+	}
+
+	sort.SliceStable(res.Candidates, func(i, j int) bool {
+		a, b := res.Candidates[i], res.Candidates[j]
+		if a.Synthesizable != b.Synthesizable {
+			return a.Synthesizable
+		}
+		if !a.Synthesizable {
+			return false
+		}
+		return a.TimeUS < b.TimeUS
+	})
+	return res, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// buildConfig assembles a FoldedConfig covering every conv signature the
+// network uses. Strided 1x1 projections get their own channel unroll (they
+// are small in FLOPs but crippling at 1 MAC/cycle).
+func buildConfig(layers []*relay.Layer, facts layerFacts, pwW2, pwC2, pwC1 int, c33 topi.ConvSched, dwVec, denseVec int) host.FoldedConfig {
+	conv := map[string]topi.ConvSched{}
+	dw := map[string]int{}
+	projC1 := 1
+	if facts.hasProj {
+		pd := divisorsOf(facts.projC1, 8)
+		projC1 = pd[len(pd)-1]
+	}
+	for _, l := range layers {
+		switch l.Kind {
+		case relay.KConv:
+			sig := convSigLocal(l)
+			switch {
+			case l.F == 1 && l.S == 1:
+				conv[sig] = topi.OptSched(pwW2, pwC2, pwC1)
+			case l.F == 1:
+				conv[sig] = topi.OptSched(1, 1, projC1)
+			case l.F == 3:
+				conv[sig] = c33
+			default:
+				conv[sig] = topi.OptSched(1, 1, 1)
+			}
+		case relay.KDepthwise:
+			dw[fmt.Sprintf("dw%dx%ds%d", l.F, l.F, l.S)] = dwVec
+		}
+	}
+	return host.FoldedConfig{Conv: conv, DWVec: dw, DenseVec: denseVec, Workaround: true}
+}
+
+// convSigLocal mirrors host's signature naming for conv groups.
+func convSigLocal(l *relay.Layer) string {
+	sig := fmt.Sprintf("conv%dx%ds%d", l.F, l.F, l.S)
+	if l.HasSkip {
+		sig += "_res"
+	}
+	if l.Relu6 {
+		sig += "_r6"
+	} else if !l.Relu {
+		sig += "_lin"
+	}
+	return sig
+}
+
+// evaluate compiles the configuration and models one forward pass.
+func evaluate(layers []*relay.Layer, cfg host.FoldedConfig, board *fpga.Board) (*Candidate, error) {
+	dep, err := host.BuildFolded(layers, cfg, board, aoc.DefaultOptions)
+	if err != nil {
+		// Divisibility misses surface as build errors: an unsynthesizable
+		// candidate, not an explorer failure.
+		return &Candidate{Config: cfg, FailReason: "bind: " + err.Error()}, nil
+	}
+	c := &Candidate{Config: cfg, FmaxMHz: dep.Design.FmaxMHz, DSPs: dep.Design.TotalArea.DSPs}
+	c.LogicFrac, _, _ = dep.Design.Utilization()
+	if !dep.Design.Synthesizable() {
+		c.FailReason = dep.Design.FailReason
+		if !dep.Design.Routed {
+			c.FailReason = "routing"
+		}
+		return c, nil
+	}
+	c.Synthesizable = true
+	prof, err := dep.ProfileOps()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range prof {
+		c.TimeUS += p.TimeUS
+	}
+	return c, nil
+}

@@ -1,0 +1,221 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/aoc"
+	"repro/internal/fpga"
+	"repro/internal/host"
+	"repro/internal/nn"
+	"repro/internal/relay"
+	"repro/internal/topi"
+)
+
+// handPickedS10SX is the thesis's Table 6.7 configuration for the S10SX
+// (duplicated from bench.MobileNetConfig to avoid an import cycle).
+var handPickedS10SX = host.FoldedConfig{
+	Conv: map[string]topi.ConvSched{
+		"conv1x1s1": topi.OptSched(7, 16, 4),
+		"conv3x3s2": topi.OptSched(1, 1, 3),
+	},
+	DWVec:      map[string]int{"dw3x3s1": 7, "dw3x3s2": 7},
+	DenseVec:   32,
+	Workaround: true,
+}
+
+func mobilenetLayers(t *testing.T) []*relay.Layer {
+	t.Helper()
+	layers, err := relay.Lower(nn.MobileNetV1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return layers
+}
+
+func TestDivisorsOf(t *testing.T) {
+	got := divisorsOf(12, 6)
+	want := []int{1, 2, 3, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("divisors = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("divisors = %v", got)
+		}
+	}
+}
+
+func TestGatherFactsMobileNet(t *testing.T) {
+	f := gatherFacts(mobilenetLayers(t))
+	if !f.hasPW || !f.hasDW || !f.hasDense || !f.has33 {
+		t.Fatalf("facts incomplete: %+v", f)
+	}
+	// 1x1 output widths are {112,56,28,14,7}: gcd 7. Channels gcd 32/64.
+	if f.pwW2 != 7 {
+		t.Fatalf("pw W2 gcd = %d, want 7", f.pwW2)
+	}
+	if f.pwC1%32 != 0 || f.pwC2%64 != 0 {
+		t.Fatalf("channel gcds: c1=%d c2=%d", f.pwC1, f.pwC2)
+	}
+	if f.denseN != 1024 {
+		t.Fatalf("dense N = %d", f.denseN)
+	}
+}
+
+func TestExploreMobileNetFindsGoodConfig(t *testing.T) {
+	layers := mobilenetLayers(t)
+	board := fpga.S10SX
+	res, err := Explore(layers, "mobilenetv1", board, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated == 0 || len(res.Candidates) != res.Evaluated {
+		t.Fatalf("evaluated %d candidates", res.Evaluated)
+	}
+	best, err := res.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Synthesizable || best.TimeUS <= 0 {
+		t.Fatalf("best candidate invalid: %+v", best)
+	}
+
+	// The explorer must do at least as well as the thesis's hand-picked
+	// Table 6.7 configuration for this board.
+	handDep, err := host.BuildFolded(layers, handPickedS10SX, board, aoc.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := handDep.ProfileOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handUS float64
+	for _, p := range prof {
+		handUS += p.TimeUS
+	}
+	if best.TimeUS > handUS*1.02 {
+		t.Fatalf("DSE best (%.0f us) must match or beat the hand-picked config (%.0f us)", best.TimeUS, handUS)
+	}
+	t.Logf("DSE best: pw %d/%d/%d, %.1f ms vs hand-picked %.1f ms",
+		best.PW.W2vec, best.PW.C2vec, best.PW.C1vec, best.TimeUS/1e3, handUS/1e3)
+}
+
+func TestExploreRanksSynthesizableFirst(t *testing.T) {
+	layers := mobilenetLayers(t)
+	res, err := Explore(layers, "mobilenetv1", fpga.A10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenFail := false
+	var prev float64
+	for _, c := range res.Candidates {
+		if !c.Synthesizable {
+			seenFail = true
+			continue
+		}
+		if seenFail {
+			t.Fatal("synthesizable candidate ranked after a failing one")
+		}
+		if prev > 0 && c.TimeUS < prev {
+			t.Fatal("synthesizable candidates not sorted by time")
+		}
+		prev = c.TimeUS
+	}
+}
+
+func TestExploreRespectsResourceLimits(t *testing.T) {
+	layers := mobilenetLayers(t)
+	res, err := Explore(layers, "mobilenetv1", fpga.A10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := res.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chosen design must be a legal A10 deployment.
+	if best.DSPs > fpga.A10.Total.DSPs {
+		t.Fatalf("best uses %d DSPs on a %d-DSP device", best.DSPs, fpga.A10.Total.DSPs)
+	}
+	if best.LogicFrac >= 1 {
+		t.Fatalf("best logic fraction %.2f", best.LogicFrac)
+	}
+}
+
+func TestExploreLeNetFoldedNetwork(t *testing.T) {
+	// The explorer generalizes to any network, including ones without 1x1
+	// convolutions.
+	layers, err := relay.Lower(nn.LeNet5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Explore(layers, "lenet5", fpga.S10SX, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Best(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestErrorsWhenNothingFits(t *testing.T) {
+	r := &Result{Net: "x", Board: fpga.A10, Candidates: []Candidate{{Synthesizable: false}}}
+	if _, err := r.Best(); err == nil {
+		t.Fatal("Best must fail when nothing synthesizes")
+	}
+}
+
+// handPickedResNetS10SX mirrors bench.ResNetConfig (duplicated to avoid an
+// import cycle).
+var handPickedResNetS10SX = func() host.FoldedConfig {
+	s33 := topi.OptSched(7, 1, 8)
+	return host.FoldedConfig{
+		Conv: map[string]topi.ConvSched{
+			"conv7x7s2":     topi.OptSched(1, 1, 1),
+			"conv3x3s1":     s33,
+			"conv3x3s1_res": s33,
+			"conv3x3s2":     s33,
+			"conv1x1s2_lin": topi.OptSched(1, 1, 8),
+		},
+		DenseVec:   32,
+		Workaround: true,
+	}
+}()
+
+func TestExploreResNetMatchesHandConfig(t *testing.T) {
+	g, err := nn.ResNet(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers, err := relay.Lower(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Explore(layers, "resnet18", fpga.S10SX, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := res.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	handDep, err := host.BuildFolded(layers, handPickedResNetS10SX, fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := handDep.ProfileOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handUS float64
+	for _, p := range prof {
+		handUS += p.TimeUS
+	}
+	// ResNet is bandwidth-bound, so the explorer has limited headroom; it
+	// must at least find something within 25% of the thesis's hand pick.
+	if best.TimeUS > handUS*1.25 {
+		t.Fatalf("DSE best (%.1f ms) too far behind hand config (%.1f ms)", best.TimeUS/1e3, handUS/1e3)
+	}
+	t.Logf("ResNet-18 DSE best %.1f ms vs hand %.1f ms", best.TimeUS/1e3, handUS/1e3)
+}

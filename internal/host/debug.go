@@ -1,0 +1,109 @@
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/relay"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// The thesis's host program includes "output verification and debugging
+// capabilities (per-layer activation dump)" (§5.2). DumpActivations
+// reproduces that: one tensor per layer, pulled from the device buffers
+// after a functional run.
+
+// DumpActivations runs one inference and returns every layer's output
+// feature map, in layer order. It requires a buffered bitstream (Base or
+// Unrolling): channelized bitstreams stream activations kernel-to-kernel and
+// never materialize them in global memory, which is exactly why the thesis's
+// debug path uses the buffered configuration.
+func (p *Pipelined) DumpActivations(input *tensor.Tensor) ([]*tensor.Tensor, error) {
+	if p.Variant >= PipeChannels {
+		return nil, fmt.Errorf("host: %s streams activations through channels; use a buffered bitstream (Base/Unrolling) for per-layer dumps", p.Variant)
+	}
+	m := sim.NewMachine()
+	for i, st := range p.stages {
+		bindStageTensors(m, st)
+		if st.op.Out != nil {
+			n, _ := st.op.Out.ConstLen()
+			_ = i
+			m.Bind(st.op.Out, make([]float32, n))
+		}
+	}
+	var kernels []*ir.Kernel
+	for _, st := range p.stages {
+		if st.op.In != nil {
+			if st.layer.In < 0 {
+				m.Bind(st.op.In, input.Data)
+			} else {
+				m.Bind(st.op.In, m.Buffer(p.stages[st.layer.In].op.Out))
+			}
+		}
+		kernels = append(kernels, st.op.Kernel)
+	}
+	if err := m.RunGraph(kernels, nil); err != nil {
+		return nil, err
+	}
+	out := make([]*tensor.Tensor, len(p.stages))
+	for i, st := range p.stages {
+		out[i] = tensor.FromData(m.Buffer(st.op.Out), st.layer.OutShape...)
+	}
+	return out, nil
+}
+
+// DumpActivations returns every layer's output feature map from a folded
+// run (folded activations always live in global memory, so every bitstream
+// supports the dump).
+func (f *Folded) DumpActivations(input *tensor.Tensor) ([]*tensor.Tensor, error) {
+	outs := make([][]float32, len(f.Layers))
+	get := func(idx int) []float32 {
+		if idx < 0 {
+			return input.Data
+		}
+		return outs[idx]
+	}
+	for _, inv := range f.plan {
+		m := sim.NewMachine()
+		op, l := inv.op, inv.layer
+		if op.In != nil {
+			m.Bind(op.In, get(inv.inIdx))
+		}
+		if op.Weights != nil {
+			m.Bind(op.Weights, l.W.Data)
+		}
+		if op.Bias != nil {
+			m.Bind(op.Bias, l.B.Data)
+		}
+		if op.Skip != nil {
+			m.Bind(op.Skip, get(inv.skipIdx))
+		}
+		for _, sc := range op.Scratches {
+			if n, ok := sc.ConstLen(); ok {
+				m.Bind(sc, make([]float32, n))
+			}
+		}
+		buf := outs[inv.outIdx]
+		if buf == nil {
+			buf = make([]float32, f.outBytes[inv.outIdx]/4)
+		}
+		m.Bind(op.Out, buf)
+		if err := m.Run(inv.kernel, inv.bindings); err != nil {
+			return nil, fmt.Errorf("host: dump at layer %s: %w", l.Name, err)
+		}
+		outs[inv.outIdx] = buf
+	}
+	res := make([]*tensor.Tensor, len(f.Layers))
+	for i, l := range f.Layers {
+		src := i
+		if l.Kind == relay.KFlatten {
+			src = f.outIdxOf[i]
+		}
+		if outs[src] == nil {
+			continue
+		}
+		res[i] = tensor.FromData(outs[src], l.OutShape...)
+	}
+	return res, nil
+}

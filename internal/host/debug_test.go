@@ -1,0 +1,129 @@
+package host
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/aoc"
+	"repro/internal/fpga"
+	"repro/internal/nn"
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+func TestPipelinedActivationDumpMatchesReference(t *testing.T) {
+	layers := lenetLayers(t)
+	p, err := BuildPipelined(layers, PipeBase, fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := nn.Digit(5)
+	dumps, err := p.DumpActivations(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != len(layers) {
+		t.Fatalf("dumped %d layers, want %d", len(dumps), len(layers))
+	}
+	// Every intermediate matches the reference executed up to that layer.
+	for i := range layers {
+		want, err := relay.Execute(layers[:i+1], input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.AllClose(dumps[i], want, 1e-4) {
+			t.Fatalf("layer %d (%s) dump diverges: %v", i, layers[i].Name, tensor.MaxAbsDiff(dumps[i], want))
+		}
+	}
+}
+
+func TestPipelinedDumpRejectsChannelized(t *testing.T) {
+	layers := lenetLayers(t)
+	p, err := BuildPipelined(layers, PipeAutorun, fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DumpActivations(nn.Digit(0)); err == nil ||
+		!strings.Contains(err.Error(), "channels") {
+		t.Fatalf("channelized dump must be rejected, got %v", err)
+	}
+}
+
+func TestFoldedActivationDump(t *testing.T) {
+	layers := lenetLayers(t)
+	f, err := BuildFolded(layers, lenetFoldedConfig(), fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := nn.Digit(2)
+	dumps, err := f.DumpActivations(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range layers {
+		if dumps[i] == nil {
+			t.Fatalf("layer %d (%s) not dumped", i, l.Name)
+		}
+		want, err := relay.Execute(layers[:i+1], input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.AllClose(dumps[i], want, 1e-4) {
+			t.Fatalf("folded dump layer %d (%s) diverges", i, l.Name)
+		}
+	}
+}
+
+func TestRunResultTimeline(t *testing.T) {
+	layers := lenetLayers(t)
+	p, err := BuildPipelined(layers, PipeAutorun, fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Run(3, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Timeline, "timeline:") || !strings.Contains(r.Timeline, "#") {
+		t.Fatalf("timeline missing content:\n%s", r.Timeline)
+	}
+	// Setup weight transfers are excluded from the measured window: the
+	// timeline must not list the conv weight buffers as writes.
+	if strings.Contains(r.Timeline, "write conv1_w") {
+		t.Fatalf("timeline must exclude setup transfers:\n%s", r.Timeline)
+	}
+	// The autorun pools never appear as commands.
+	if strings.Contains(r.Timeline, "max_pool") {
+		t.Fatalf("autorun kernels must not appear as commands:\n%s", r.Timeline)
+	}
+}
+
+func TestNoisyDigitRobustness(t *testing.T) {
+	// The deployed pipeline must agree with the reference classifier on
+	// noisy inputs — the bit-exactness story extends beyond clean digits.
+	layers := lenetLayers(t)
+	p, err := BuildPipelined(layers, PipeTVMAutorun, fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d <= 9; d++ {
+		for _, seed := range []uint64{1, 2} {
+			in := nn.NoisyDigit(d, seed, 0.3)
+			want, err := relay.Execute(layers, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.Infer(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.ArgMax() != want.ArgMax() {
+				t.Fatalf("digit %d seed %d: accelerator classifies %d, reference %d",
+					d, seed, got.ArgMax(), want.ArgMax())
+			}
+			if !tensor.AllClose(got, want, 1e-4) {
+				t.Fatalf("digit %d seed %d: outputs diverge", d, seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,544 @@
+package host
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/aoc"
+	"repro/internal/clrt"
+	"repro/internal/fpga"
+	"repro/internal/ir"
+	"repro/internal/relay"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/topi"
+)
+
+// FoldedConfig selects the parameterized-kernel tiling for a folded
+// deployment (Tables 6.7 and 6.13).
+type FoldedConfig struct {
+	// Naive builds one naive constant-shape kernel per layer instead of
+	// parameterized kernels — the "base" folded bitstream. This is the
+	// configuration that fails to fit on the Arria 10 (§6.3.2).
+	Naive bool
+	// Conv maps a convolution signature (see convSig) to its tiling.
+	Conv map[string]topi.ConvSched
+	// DWVec maps a depthwise signature to its W2 unroll factor.
+	DWVec map[string]int
+	// DenseVec is the dense reduction unroll.
+	DenseVec int
+	// Workaround applies the Listing 5.11 stride-1 coalescing fix
+	// (on in all thesis deployments; off for the ablation).
+	Workaround bool
+}
+
+func convSig(f, s int, relu, relu6, res bool) string {
+	sig := fmt.Sprintf("conv%dx%ds%d", f, f, s)
+	if res {
+		sig += "_res"
+	}
+	if relu6 {
+		sig += "_r6"
+	} else if !relu {
+		sig += "_lin"
+	}
+	return sig
+}
+
+// invocation is one kernel call in the per-image execution plan.
+type invocation struct {
+	kernel   *ir.Kernel
+	op       *topi.Op
+	bindings map[*ir.Var]int64
+	layer    *relay.Layer
+	// opClass labels the invocation for the per-operation profiles
+	// ("1x1 conv", "3x3 DW conv", "pad", ...).
+	opClass string
+	// buffer indices: -1 = network input, else index into layer outputs.
+	inIdx, skipIdx, outIdx int
+}
+
+// Folded is a folded (time-multiplexed parameterized kernels) deployment.
+type Folded struct {
+	Board  *fpga.Board
+	Design *aoc.Design
+	Layers []*relay.Layer
+	Config FoldedConfig
+
+	plan     []*invocation
+	inShape  []int
+	outShape []int
+	// outBytes[i] is the byte size of layer i's output buffer.
+	outBytes []int
+	outIdxOf map[int]int // layer index -> buffer-producing layer index (flatten aliasing)
+}
+
+// BuildFolded generates the kernel set and execution plan for a network.
+func BuildFolded(layers []*relay.Layer, cfg FoldedConfig, board *fpga.Board, opts aoc.Options) (*Folded, error) {
+	f := &Folded{Board: board, Layers: layers, Config: cfg, outIdxOf: map[int]int{}}
+	f.inShape = layers[0].InShape
+	f.outShape = layers[len(layers)-1].OutShape
+
+	if cfg.Conv == nil {
+		cfg.Conv = map[string]topi.ConvSched{}
+	}
+	if cfg.DWVec == nil {
+		cfg.DWVec = map[string]int{}
+	}
+	if cfg.DenseVec == 0 {
+		cfg.DenseVec = 1
+	}
+
+	// Resolve buffer aliasing: flatten layers are free reshapes on NCHW
+	// row-major data and emit no kernel in the folded plan.
+	bufOf := func(idx int) int {
+		for idx >= 0 && layers[idx].Kind == relay.KFlatten {
+			idx = layers[idx].In
+		}
+		return idx
+	}
+
+	f.outBytes = make([]int, len(layers))
+	for i, l := range layers {
+		n := 4
+		for _, d := range l.OutShape {
+			n *= d
+		}
+		f.outBytes[i] = n
+	}
+
+	// Parameterized kernel groups, or per-layer naive kernels.
+	type group struct {
+		conv  *topi.ParamConv
+		dw    *topi.ParamDepthwise
+		dense *topi.ParamDense
+		pad   *topi.ParamPad
+		pool  *topi.ParamPool
+		cp    *topi.ParamCopy
+	}
+	groups := map[string]*group{}
+	// naiveShared dedupes constant-shape naive kernels: TVM compiles one
+	// kernel per distinct (operator, shape) signature and reuses it for
+	// identical layers, even in the base flow — weights are arguments.
+	naiveShared := map[string]*topi.Op{}
+	var kernels []*ir.Kernel
+
+	addKernel := func(k *ir.Kernel) { kernels = append(kernels, k) }
+
+	for i, l := range layers {
+		if l.Kind == relay.KFlatten {
+			f.outIdxOf[i] = bufOf(i)
+			continue
+		}
+		if l.Kind == relay.KConcat {
+			// Channel concatenation lowers to one offset-copy invocation per
+			// input part, all writing regions of the same output buffer.
+			g := groups["concat_copy"]
+			if g == nil || g.cp == nil {
+				cp, err := topi.CopyParam("concat_copy", 1, cfg.Workaround)
+				if err != nil {
+					return nil, err
+				}
+				groups["concat_copy"] = &group{cp: cp}
+				g = groups["concat_copy"]
+				addKernel(cp.Op.Kernel)
+			}
+			total := f.outBytes[i] / 4
+			off := 0
+			for _, srcIdx := range l.Ins {
+				src := bufOf(srcIdx)
+				var partLen int
+				if src < 0 {
+					partLen = 4
+					for _, d := range f.inShape {
+						partLen *= d
+					}
+					partLen /= 4
+				} else {
+					partLen = f.outBytes[src] / 4
+				}
+				bind, err := g.cp.Bind(partLen, off, total)
+				if err != nil {
+					return nil, err
+				}
+				f.plan = append(f.plan, &invocation{layer: l, opClass: "concat",
+					kernel: g.cp.Op.Kernel, op: g.cp.Op, bindings: bind,
+					inIdx: src, skipIdx: -1, outIdx: i})
+				off += partLen
+			}
+			continue
+		}
+		inv := &invocation{layer: l, inIdx: bufOf(l.In), skipIdx: -1, outIdx: i}
+		if l.HasSkip {
+			inv.skipIdx = bufOf(l.Skip)
+		}
+		inv.opClass = opClass(l)
+
+		if cfg.Naive {
+			sig := fmt.Sprintf("%s_%v_%v_f%ds%d_r%v_k%v_b%v", l.Kind, l.InShape, l.OutShape,
+				l.F, l.S, l.Relu, l.HasSkip, l.B != nil)
+			op := naiveShared[sig]
+			if op == nil {
+				var err error
+				op, err = buildLayerKernel(l, true, topi.ConvIO{}, false, denseUnroll)
+				if err != nil {
+					return nil, fmt.Errorf("host: naive kernel for %s: %w", l.Name, err)
+				}
+				op.Kernel.Name = fmt.Sprintf("%s_k%d", l.Name, i)
+				naiveShared[sig] = op
+				addKernel(op.Kernel)
+			}
+			inv.kernel, inv.op = op.Kernel, op
+			f.plan = append(f.plan, inv)
+			continue
+		}
+
+		switch l.Kind {
+		case relay.KConv:
+			sig := convSig(l.F, l.S, l.Relu, l.Relu6, l.HasSkip)
+			g := groups[sig]
+			if g == nil || g.conv == nil {
+				// Tiling configs may be keyed without the activation suffix
+				// (the activation does not change the loop structure).
+				sched, ok := cfg.Conv[sig]
+				if !ok {
+					base := convSig(l.F, l.S, true, false, l.HasSkip)
+					sched, ok = cfg.Conv[base]
+				}
+				if !ok {
+					sched = topi.OptSched(1, 1, 1)
+				}
+				pc, err := topi.ConvParamAct(sig, l.F, l.S, sched, l.Relu, l.Relu6, l.B != nil, l.HasSkip, cfg.Workaround)
+				if err != nil {
+					return nil, err
+				}
+				groups[sig] = &group{conv: pc}
+				g = groups[sig]
+				addKernel(pc.Op.Kernel)
+			}
+			bind, err := g.conv.Bind(l.InShape[0], l.InShape[1], l.InShape[2], l.OutShape[0])
+			if err != nil {
+				return nil, err
+			}
+			inv.kernel, inv.op, inv.bindings = g.conv.Op.Kernel, g.conv.Op, bind
+		case relay.KDepthwise:
+			sig := fmt.Sprintf("dw%dx%ds%d", l.F, l.F, l.S)
+			if l.Relu6 {
+				sig += "_r6"
+			}
+			g := groups[sig]
+			if g == nil || g.dw == nil {
+				w2v := cfg.DWVec[fmt.Sprintf("dw%dx%ds%d", l.F, l.F, l.S)]
+				pd, err := topi.DepthwiseParamAct(sig, l.F, l.S, w2v, l.Relu, l.Relu6, l.B != nil, cfg.Workaround)
+				if err != nil {
+					return nil, err
+				}
+				groups[sig] = &group{dw: pd}
+				g = groups[sig]
+				addKernel(pd.Op.Kernel)
+			}
+			bind, err := g.dw.Bind(l.InShape[0], l.InShape[1], l.InShape[2])
+			if err != nil {
+				return nil, err
+			}
+			inv.kernel, inv.op, inv.bindings = g.dw.Op.Kernel, g.dw.Op, bind
+		case relay.KDense:
+			sig := "dense"
+			if l.Relu {
+				sig = "dense_relu"
+			}
+			g := groups[sig]
+			if g == nil || g.dense == nil {
+				pd, err := topi.DenseParam(sig, cfg.DenseVec, l.Relu, l.B != nil, cfg.Workaround)
+				if err != nil {
+					return nil, err
+				}
+				groups[sig] = &group{dense: pd}
+				g = groups[sig]
+				addKernel(pd.Op.Kernel)
+			}
+			bind, err := g.dense.Bind(l.InShape[0], l.OutShape[0])
+			if err != nil {
+				return nil, err
+			}
+			inv.kernel, inv.op, inv.bindings = g.dense.Op.Kernel, g.dense.Op, bind
+		case relay.KPad:
+			sig := fmt.Sprintf("pad%d", l.P)
+			g := groups[sig]
+			if g == nil || g.pad == nil {
+				pp, err := topi.PadParam(sig, l.P, cfg.Workaround)
+				if err != nil {
+					return nil, err
+				}
+				groups[sig] = &group{pad: pp}
+				g = groups[sig]
+				addKernel(pp.Op.Kernel)
+			}
+			inv.kernel, inv.op = g.pad.Op.Kernel, g.pad.Op
+			inv.bindings = g.pad.Bind(l.InShape[0], l.InShape[1], l.InShape[2])
+		case relay.KMaxPool, relay.KAvgPool:
+			avg := l.Kind == relay.KAvgPool
+			sig := fmt.Sprintf("pool%dx%ds%d", l.F, l.F, l.S)
+			if avg {
+				sig = "avg" + sig
+			}
+			g := groups[sig]
+			if g == nil || g.pool == nil {
+				pl, err := topi.PoolParam(sig, l.F, l.S, avg, cfg.Workaround)
+				if err != nil {
+					return nil, err
+				}
+				groups[sig] = &group{pool: pl}
+				g = groups[sig]
+				addKernel(pl.Op.Kernel)
+			}
+			inv.kernel, inv.op = g.pool.Op.Kernel, g.pool.Op
+			inv.bindings = g.pool.Bind(l.InShape[0], l.InShape[1], l.InShape[2])
+		case relay.KSoftmax:
+			// Constant-shape kernel: one per distinct class count.
+			sig := fmt.Sprintf("softmax%d", l.OutShape[0])
+			found := false
+			for _, k := range kernels {
+				if k.Name == sig {
+					found = true
+					for _, p := range f.plan {
+						if p.kernel.Name == sig {
+							inv.kernel, inv.op = p.kernel, p.op
+						}
+					}
+				}
+			}
+			if !found {
+				op, err := topi.Softmax(sig, l.OutShape[0], false, topi.ConvIO{})
+				if err != nil {
+					return nil, err
+				}
+				inv.kernel, inv.op = op.Kernel, op
+				addKernel(op.Kernel)
+			}
+		default:
+			return nil, fmt.Errorf("host: folded plan cannot handle layer kind %v", l.Kind)
+		}
+		f.plan = append(f.plan, inv)
+	}
+
+	d, err := aoc.Compile(foldedName(cfg), kernels, board, opts)
+	if err != nil {
+		return nil, err
+	}
+	f.Design = d
+	return f, nil
+}
+
+func foldedName(cfg FoldedConfig) string {
+	if cfg.Naive {
+		return "folded-base"
+	}
+	return "folded-optimized"
+}
+
+func opClass(l *relay.Layer) string {
+	switch l.Kind {
+	case relay.KConv:
+		return fmt.Sprintf("%dx%d conv", l.F, l.F)
+	case relay.KDepthwise:
+		return fmt.Sprintf("%dx%d DW conv", l.F, l.F)
+	case relay.KDense:
+		return "dense"
+	case relay.KPad:
+		return "pad"
+	case relay.KMaxPool, relay.KAvgPool:
+		return "pool"
+	case relay.KSoftmax:
+		return "softmax"
+	}
+	return l.Kind.String()
+}
+
+// Infer runs the folded plan functionally on the IR interpreter (practical
+// for small networks; the large networks are verified per-kernel and via
+// the relay reference executor).
+func (f *Folded) Infer(input *tensor.Tensor) (*tensor.Tensor, error) {
+	outs := make([][]float32, len(f.Layers))
+	get := func(idx int) []float32 {
+		if idx < 0 {
+			return input.Data
+		}
+		return outs[idx]
+	}
+	for _, inv := range f.plan {
+		m := sim.NewMachine()
+		op, l := inv.op, inv.layer
+		if op.In != nil {
+			m.Bind(op.In, get(inv.inIdx))
+		}
+		if op.Weights != nil {
+			m.Bind(op.Weights, l.W.Data)
+		}
+		if op.Bias != nil {
+			m.Bind(op.Bias, l.B.Data)
+		}
+		if op.Skip != nil {
+			m.Bind(op.Skip, get(inv.skipIdx))
+		}
+		for _, sc := range op.Scratches {
+			if n, ok := sc.ConstLen(); ok {
+				m.Bind(sc, make([]float32, n))
+			}
+		}
+		out := outs[inv.outIdx]
+		if out == nil {
+			out = make([]float32, f.outBytes[inv.outIdx]/4)
+		}
+		m.Bind(op.Out, out)
+		if err := m.Run(inv.kernel, inv.bindings); err != nil {
+			return nil, fmt.Errorf("host: layer %s: %w", l.Name, err)
+		}
+		outs[inv.outIdx] = out
+	}
+	last := f.plan[len(f.plan)-1]
+	return tensor.FromData(outs[last.outIdx], f.outShape...), nil
+}
+
+// Run simulates classifying n images on a single command queue (concurrent
+// execution is not applicable to folded kernels, §4.11).
+func (f *Folded) Run(n int, profiling bool) (*RunResult, error) {
+	if err := f.Design.Err(); err != nil {
+		return nil, err
+	}
+	ctx, err := clrt.NewContext(f.Design)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Profiling = profiling
+	q := ctx.NewQueue()
+
+	inBytes := 4
+	for _, d := range f.inShape {
+		inBytes *= d
+	}
+	input := ctx.NewBuffer("input", inBytes)
+	outBufs := make([]*clrt.Buffer, len(f.Layers))
+	devOut := func(idx int) *clrt.Buffer {
+		if outBufs[idx] == nil {
+			outBufs[idx] = ctx.NewBuffer(fmt.Sprintf("act%d", idx), f.outBytes[idx])
+		}
+		return outBufs[idx]
+	}
+	devIn := func(idx int) *clrt.Buffer {
+		if idx < 0 {
+			return input
+		}
+		return devOut(idx)
+	}
+
+	// Parameters once at startup.
+	weightBufs := map[*relay.Layer]*clrt.Buffer{}
+	biasBufs := map[*relay.Layer]*clrt.Buffer{}
+	for _, inv := range f.plan {
+		if inv.layer.W != nil && inv.op.Weights != nil {
+			b := ctx.NewBuffer(inv.layer.Name+"_w", inv.layer.W.Bytes())
+			weightBufs[inv.layer] = b
+			q.EnqueueWrite(b, inv.layer.W.Bytes())
+		}
+		if inv.layer.B != nil && inv.op.Bias != nil {
+			b := ctx.NewBuffer(inv.layer.Name+"_b", inv.layer.B.Bytes())
+			biasBufs[inv.layer] = b
+			q.EnqueueWrite(b, inv.layer.B.Bytes())
+		}
+	}
+	ctx.Finish()
+
+	outBytes := 4
+	for _, d := range f.outShape {
+		outBytes *= d
+	}
+	start := ctx.ElapsedUS()
+	for img := 0; img < n; img++ {
+		q.EnqueueWrite(input, inBytes)
+		for _, inv := range f.plan {
+			call := clrt.KernelCall{Name: inv.kernel.Name, Bindings: inv.bindings,
+				Reads: []*clrt.Buffer{devIn(inv.inIdx)}}
+			if b := weightBufs[inv.layer]; b != nil {
+				call.Reads = append(call.Reads, b)
+			}
+			if b := biasBufs[inv.layer]; b != nil {
+				call.Reads = append(call.Reads, b)
+			}
+			if inv.skipIdx >= 0 || (inv.layer.HasSkip && inv.skipIdx == -1) {
+				call.Reads = append(call.Reads, devIn(inv.skipIdx))
+			}
+			for _, sc := range inv.op.Scratches {
+				if nn, ok := sc.ConstLen(); ok {
+					call.Writes = append(call.Writes, ctx.NewBuffer(sc.Name, int(nn)*4))
+				}
+			}
+			call.Writes = append(call.Writes, devOut(inv.outIdx))
+			if _, err := q.EnqueueKernel(call); err != nil {
+				return nil, err
+			}
+		}
+		last := f.plan[len(f.plan)-1]
+		q.EnqueueRead(devOut(last.outIdx), outBytes)
+	}
+	ctx.Finish()
+	elapsed := ctx.ElapsedUS() - start
+	return &RunResult{
+		Images:      n,
+		ElapsedUS:   elapsed,
+		FPS:         float64(n) / elapsed * 1e6,
+		Breakdown:   ctx.Breakdown(),
+		PerKernelUS: ctx.BreakdownByName(),
+		Timeline:    ctx.TimelineSince(72, start),
+	}, nil
+}
+
+// OpProfile aggregates modeled kernel time and GFLOPS by operation class
+// for one image (Tables 6.8 and 6.16).
+type OpProfile struct {
+	Class     string
+	TimeUS    float64
+	FLOPs     int64
+	GFLOPS    float64
+	TimeShare float64
+	FLOPShare float64
+}
+
+// ProfileOps returns the per-operation-class profile of a single forward
+// pass using the AOC timing model at the design's fmax.
+func (f *Folded) ProfileOps() ([]OpProfile, error) {
+	if err := f.Design.Err(); err != nil {
+		return nil, err
+	}
+	byClass := map[string]*OpProfile{}
+	var totalUS float64
+	var totalFL int64
+	for _, inv := range f.plan {
+		m := f.Design.Model(inv.kernel.Name)
+		if m == nil {
+			return nil, fmt.Errorf("host: kernel %s missing from design", inv.kernel.Name)
+		}
+		us := m.TimeUS(inv.bindings, f.Design.FmaxMHz, f.Board)
+		fl := inv.layer.FLOPs()
+		p := byClass[inv.opClass]
+		if p == nil {
+			p = &OpProfile{Class: inv.opClass}
+			byClass[inv.opClass] = p
+		}
+		p.TimeUS += us
+		p.FLOPs += fl
+		totalUS += us
+		totalFL += fl
+	}
+	var out []OpProfile
+	for _, p := range byClass {
+		if p.TimeUS > 0 {
+			p.GFLOPS = float64(p.FLOPs) / p.TimeUS / 1e3
+		}
+		p.TimeShare = p.TimeUS / totalUS
+		p.FLOPShare = float64(p.FLOPs) / float64(totalFL)
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FLOPs > out[j].FLOPs })
+	return out, nil
+}

@@ -1,0 +1,423 @@
+// Package host implements the thesis's custom OpenCL host program (§5.2) on
+// top of the clrt runtime simulator: loading parameters, executing kernels
+// with different buffer/parameter sets, toggleable concurrent execution
+// (one command queue per kernel), asynchronous enqueueing, and output
+// verification against the native references.
+//
+// Two deployment modes mirror §3.1: Pipelined (one kernel per layer, CL
+// channels carrying activations, optional autorun, used for LeNet) and
+// Folded (parameterized kernels time-multiplexed over layers, used for
+// MobileNet and ResNet).
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/aoc"
+	"repro/internal/clrt"
+	"repro/internal/fpga"
+	"repro/internal/ir"
+	"repro/internal/relay"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/topi"
+)
+
+// PipeVariant selects one of the Table 6.4 bitstreams.
+type PipeVariant int
+
+const (
+	// PipeBase is the default TVM schedule: naive kernels, global buffers.
+	PipeBase PipeVariant = iota
+	// PipeUnroll adds hand-applied unrolling: the convolution inner product
+	// loops (F×F) and the dense reductions (40/40/4 for LeNet).
+	PipeUnroll
+	// PipeChannels moves activations into CL channels with fused
+	// activations, write caches and optimized schedules.
+	PipeChannels
+	// PipeAutorun additionally declares weight-less kernels autorun.
+	PipeAutorun
+	// PipeTVMAutorun is PipeAutorun with unrolling/fusion applied through
+	// the schedule primitives instead of by hand (the automation validation
+	// step of §6.3.1). The generated kernels are structurally identical.
+	PipeTVMAutorun
+)
+
+func (v PipeVariant) String() string {
+	switch v {
+	case PipeBase:
+		return "Base"
+	case PipeUnroll:
+		return "Unrolling"
+	case PipeChannels:
+		return "Channels"
+	case PipeAutorun:
+		return "Autorun"
+	case PipeTVMAutorun:
+		return "TVM-Autorun"
+	}
+	return "?"
+}
+
+// PipeVariants lists the Table 6.4 ladder in order.
+var PipeVariants = []PipeVariant{PipeBase, PipeUnroll, PipeChannels, PipeAutorun, PipeTVMAutorun}
+
+// denseUnrollFactors returns the hand-chosen dense unroll factors of Table
+// 6.4 (40/40/4 for LeNet's three dense layers); other networks default to
+// the largest divisor of N not exceeding 40.
+func denseUnroll(n int) int {
+	for _, f := range []int{40, 32, 20, 16, 10, 8, 5, 4, 2} {
+		if n%f == 0 {
+			return f
+		}
+	}
+	return 1
+}
+
+// stage couples a lowered layer with its generated kernel and buffers.
+type stage struct {
+	layer *relay.Layer
+	op    *topi.Op
+	// scalars for symbolic kernels (nil for pipelined).
+	bindings map[*ir.Var]int64
+}
+
+// Pipelined is a fully built pipelined deployment: kernels, design and the
+// metadata needed to drive or verify it.
+type Pipelined struct {
+	Variant PipeVariant
+	Board   *fpga.Board
+	Design  *aoc.Design
+	Layers  []*relay.Layer
+
+	stages   []*stage
+	inBuf    *ir.Buffer // network input (first kernel's global input)
+	outBuf   *ir.Buffer // network output
+	inShape  []int
+	outShape []int
+}
+
+// BuildPipelined generates one kernel per layer according to the variant
+// and compiles the design for the board.
+func BuildPipelined(layers []*relay.Layer, variant PipeVariant, board *fpga.Board, opts aoc.Options) (*Pipelined, error) {
+	p := &Pipelined{Variant: variant, Board: board, Layers: layers}
+	useChannels := variant >= PipeChannels
+	useAutorun := variant >= PipeAutorun
+
+	// Pipelined execution requires a linear chain (no residuals) — the
+	// thesis pipelines LeNet only.
+	for _, l := range layers {
+		if l.HasSkip || len(l.Ins) > 1 {
+			return nil, fmt.Errorf("host: pipelined execution requires a linear chain (layer %s)", l.Name)
+		}
+	}
+
+	// Channels between consecutive layers, sized to hold the producer's
+	// full output feature map (§4.11).
+	var chans []*ir.Channel
+	if useChannels {
+		for i, l := range layers[:len(layers)-1] {
+			n := 1
+			for _, d := range l.OutShape {
+				n *= d
+			}
+			chans = append(chans, &ir.Channel{Name: fmt.Sprintf("ch%d", i), Depth: n})
+		}
+	}
+	chanIn := func(i int) *ir.Channel {
+		if !useChannels || i == 0 {
+			return nil
+		}
+		return chans[i-1]
+	}
+	chanOut := func(i int) *ir.Channel {
+		if !useChannels || i == len(layers)-1 {
+			return nil
+		}
+		return chans[i]
+	}
+
+	var kernels []*ir.Kernel
+	for i, l := range layers {
+		io := topi.ConvIO{InCh: chanIn(i), OutCh: chanOut(i)}
+		naive := variant <= PipeUnroll
+		autorun := useAutorun && io.InCh != nil && io.OutCh != nil &&
+			(l.Kind == relay.KMaxPool || l.Kind == relay.KAvgPool || l.Kind == relay.KFlatten)
+		op, err := buildLayerKernel(l, naive, io, autorun, denseUnroll)
+		if err != nil {
+			return nil, err
+		}
+		if variant == PipeUnroll {
+			if err := applyHandUnroll(op, l); err != nil {
+				return nil, err
+			}
+		}
+		p.stages = append(p.stages, &stage{layer: l, op: op})
+		kernels = append(kernels, op.Kernel)
+	}
+
+	// Locate the network input/output buffers.
+	first, last := p.stages[0], p.stages[len(p.stages)-1]
+	p.inBuf, p.outBuf = first.op.In, last.op.Out
+	p.inShape, p.outShape = layers[0].InShape, last.layer.OutShape
+	if p.inBuf == nil || p.outBuf == nil {
+		return nil, fmt.Errorf("host: pipeline endpoints must be global buffers")
+	}
+
+	d, err := aoc.Compile(fmt.Sprintf("pipelined-%s", variant), kernels, board, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.Design = d
+	return p, nil
+}
+
+// buildLayerKernel generates the kernel for one lowered layer.
+func buildLayerKernel(l *relay.Layer, naive bool, io topi.ConvIO, autorun bool, du func(int) int) (*topi.Op, error) {
+	switch l.Kind {
+	case relay.KConv:
+		spec := topi.ConvSpec{Name: l.Name, C1: l.InShape[0], H: l.InShape[1], W: l.InShape[2],
+			C2: l.OutShape[0], F: l.F, S: l.S, Relu: l.Relu, Relu6: l.Relu6, Bias: l.B != nil, Residual: l.HasSkip}
+		sched := topi.ConvSched{Naive: naive}
+		if !naive {
+			sched = topi.OptSched(1, 1, 1)
+		}
+		return topi.Conv2D(spec, sched, io)
+	case relay.KDepthwise:
+		spec := topi.DepthwiseSpec{Name: l.Name, C: l.InShape[0], H: l.InShape[1], W: l.InShape[2],
+			F: l.F, S: l.S, Relu: l.Relu, Relu6: l.Relu6, Bias: l.B != nil}
+		return topi.DepthwiseConv2D(spec, naive, 1, io)
+	case relay.KDense:
+		spec := topi.DenseSpec{Name: l.Name, N: l.InShape[0], M: l.OutShape[0], Relu: l.Relu, Relu6: l.Relu6, Bias: l.B != nil}
+		kvec := 1
+		if !naive {
+			kvec = du(l.InShape[0])
+		}
+		return topi.Dense(spec, naive, kvec, io)
+	case relay.KMaxPool, relay.KAvgPool:
+		spec := topi.PoolSpec{Name: l.Name, C: l.InShape[0], H: l.InShape[1], W: l.InShape[2],
+			F: l.F, S: l.S, Avg: l.Kind == relay.KAvgPool}
+		return topi.Pool2D(spec, naive, io, autorun)
+	case relay.KFlatten:
+		return topi.Flatten(l.Name, l.OutShape[0], io, autorun)
+	case relay.KSoftmax:
+		return topi.Softmax(l.Name, l.OutShape[0], naive, io)
+	case relay.KPad:
+		return topi.Pad2D(topi.PadSpec{Name: l.Name, C: l.InShape[0], H: l.InShape[1], W: l.InShape[2], P: l.P}, io)
+	}
+	return nil, fmt.Errorf("host: cannot build kernel for layer kind %v", l.Kind)
+}
+
+// applyHandUnroll reproduces the Table 6.4 "Unrolling" bitstream: explicit
+// #pragma unroll on the convolution F×F product loops and strip-mine+unroll
+// on the dense reductions, applied with the schedule primitives to the naive
+// kernels.
+func applyHandUnroll(op *topi.Op, l *relay.Layer) error {
+	body := op.Kernel.Body
+	var err error
+	switch l.Kind {
+	case relay.KConv, relay.KDepthwise:
+		for _, loop := range []string{"ry", "rx"} {
+			body, err = schedule.UnrollByName(body, loop, -1)
+			if err != nil {
+				return fmt.Errorf("host: unrolling %s of %s: %w", loop, l.Name, err)
+			}
+		}
+	case relay.KDense:
+		f := denseUnroll(l.InShape[0])
+		if f > 1 {
+			body, err = schedule.UnrollByName(body, "k", f)
+			if err != nil {
+				return fmt.Errorf("host: unrolling dense %s: %w", l.Name, err)
+			}
+		}
+	default:
+		return nil
+	}
+	op.Kernel.Body = body
+	return nil
+}
+
+// Infer runs the pipeline functionally on the IR interpreter and returns the
+// network output (the host program's verification path). In buffered
+// variants the consumer's input buffer aliases the producer's output, as the
+// host program passes the same cl_mem to both kernels.
+func (p *Pipelined) Infer(input *tensor.Tensor) (*tensor.Tensor, error) {
+	m := sim.NewMachine()
+	// First pass: outputs and parameters.
+	for i, st := range p.stages {
+		bindStageTensors(m, st)
+		if st.op.Out != nil {
+			var data []float32
+			if i == len(p.stages)-1 {
+				data = make([]float32, len(tensor.New(p.outShape...).Data))
+			} else {
+				n, _ := st.op.Out.ConstLen()
+				data = make([]float32, n)
+			}
+			m.Bind(st.op.Out, data)
+		}
+	}
+	// Second pass: inputs alias their producer's output.
+	var kernels []*ir.Kernel
+	for _, st := range p.stages {
+		if st.op.In != nil {
+			if st.layer.In < 0 {
+				m.Bind(st.op.In, input.Data)
+			} else {
+				prev := p.stages[st.layer.In]
+				m.Bind(st.op.In, m.Buffer(prev.op.Out))
+			}
+		}
+		kernels = append(kernels, st.op.Kernel)
+	}
+	if err := m.RunGraph(kernels, nil); err != nil {
+		return nil, err
+	}
+	return tensor.FromData(m.Buffer(p.outBuf), p.outShape...), nil
+}
+
+func bindStageTensors(m *sim.Machine, st *stage) {
+	if st.op.Weights != nil {
+		m.Bind(st.op.Weights, st.layer.W.Data)
+	}
+	if st.op.Bias != nil {
+		m.Bind(st.op.Bias, st.layer.B.Data)
+	}
+	for _, sc := range st.op.Scratches {
+		if n, ok := sc.ConstLen(); ok {
+			m.Bind(sc, make([]float32, n))
+		}
+	}
+}
+
+// RunResult summarizes a timed run.
+type RunResult struct {
+	Images    int
+	ElapsedUS float64
+	FPS       float64
+	// Breakdown sums event time by kind ("kernel"/"write"/"read").
+	Breakdown map[string]float64
+	// PerKernelUS sums kernel time by kernel name.
+	PerKernelUS map[string]float64
+	// Timeline is an ASCII Gantt chart of the measured window (setup
+	// transfers excluded), showing queue serialization and pipeline overlap.
+	Timeline string
+}
+
+// Run simulates classifying n images and reports throughput. concurrent
+// selects one command queue per kernel (§4.8); profiling enables the OpenCL
+// event profiler (which serializes execution, §5.2).
+func (p *Pipelined) Run(n int, concurrent, profiling bool) (*RunResult, error) {
+	if err := p.Design.Err(); err != nil {
+		return nil, err
+	}
+	ctx, err := clrt.NewContext(p.Design)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Profiling = profiling
+
+	// Device buffers.
+	bufs := map[*ir.Buffer]*clrt.Buffer{}
+	devBuf := func(b *ir.Buffer) *clrt.Buffer {
+		if b == nil {
+			return nil
+		}
+		if d, ok := bufs[b]; ok {
+			return d
+		}
+		sz, _ := b.ConstLen()
+		d := ctx.NewBuffer(b.Name, int(sz)*4)
+		bufs[b] = d
+		return d
+	}
+
+	setup := ctx.NewQueue()
+	// Parameters copied once at startup.
+	for _, st := range p.stages {
+		if st.op.Weights != nil {
+			setup.EnqueueWrite(devBuf(st.op.Weights), st.layer.W.Bytes())
+		}
+		if st.op.Bias != nil {
+			setup.EnqueueWrite(devBuf(st.op.Bias), st.layer.B.Bytes())
+		}
+	}
+	ctx.Finish()
+
+	// One queue total, or one per kernel.
+	queues := map[string]*clrt.Queue{}
+	shared := ctx.NewQueue()
+	queueFor := func(name string) *clrt.Queue {
+		if !concurrent {
+			return shared
+		}
+		if q, ok := queues[name]; ok {
+			return q
+		}
+		q := ctx.NewQueue()
+		queues[name] = q
+		return q
+	}
+
+	inBytes := 4
+	for _, d := range p.inShape {
+		inBytes *= d
+	}
+	outBytes := 4
+	for _, d := range p.outShape {
+		outBytes *= d
+	}
+
+	// In buffered variants the consumer reads the producer's output buffer:
+	// resolve each stage's input to the producing stage's device buffer.
+	devInOf := func(st *stage) *clrt.Buffer {
+		if st.op.In == nil {
+			return nil
+		}
+		if st.layer.In < 0 {
+			return devBuf(p.inBuf)
+		}
+		return devBuf(p.stages[st.layer.In].op.Out)
+	}
+
+	start := ctx.ElapsedUS()
+	for img := 0; img < n; img++ {
+		queueFor(p.stages[0].op.Kernel.Name).EnqueueWrite(devBuf(p.inBuf), inBytes)
+		for _, st := range p.stages {
+			if st.op.Kernel.Autorun {
+				continue
+			}
+			call := clrt.KernelCall{Name: st.op.Kernel.Name}
+			if in := devInOf(st); in != nil {
+				call.Reads = append(call.Reads, in)
+			}
+			for _, b := range []*ir.Buffer{st.op.Weights, st.op.Bias} {
+				if b != nil {
+					call.Reads = append(call.Reads, devBuf(b))
+				}
+			}
+			for _, b := range st.op.Scratches {
+				call.Writes = append(call.Writes, devBuf(b))
+			}
+			if st.op.Out != nil {
+				call.Writes = append(call.Writes, devBuf(st.op.Out))
+			}
+			if _, err := queueFor(st.op.Kernel.Name).EnqueueKernel(call); err != nil {
+				return nil, err
+			}
+		}
+		queueFor(p.stages[len(p.stages)-1].op.Kernel.Name).EnqueueRead(devBuf(p.outBuf), outBytes)
+	}
+	ctx.Finish()
+	elapsed := ctx.ElapsedUS() - start
+	return &RunResult{
+		Images:      n,
+		ElapsedUS:   elapsed,
+		FPS:         float64(n) / elapsed * 1e6,
+		Breakdown:   ctx.Breakdown(),
+		PerKernelUS: ctx.BreakdownByName(),
+		Timeline:    ctx.TimelineSince(72, start),
+	}, nil
+}

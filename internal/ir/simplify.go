@@ -1,0 +1,197 @@
+package ir
+
+// Simplify applies the safe algebraic rewrites TVM's Simplify pass performs
+// on index expressions before code generation: reassociation of constant
+// addends/factors, distribution of constant multiplication over constant
+// addends, and idempotent min/max. Every rule is exact over int64 (no
+// division rules — integer division does not distribute), and the property
+// tests in simplify_test.go check random-evaluation equivalence.
+
+// Simplify rewrites e bottom-up until a fixed point (bounded).
+func Simplify(e Expr) Expr {
+	for i := 0; i < 8; i++ {
+		next := simplifyOnce(e)
+		if next == e {
+			return e
+		}
+		e = next
+	}
+	return e
+}
+
+func simplifyOnce(e Expr) Expr {
+	switch x := e.(type) {
+	case nil, *IntImm, *FloatImm, *Var, *ChannelRead:
+		return e
+	case *Load:
+		idx := make([]Expr, len(x.Index))
+		changed := false
+		for i, a := range x.Index {
+			idx[i] = simplifyOnce(a)
+			changed = changed || idx[i] != a
+		}
+		if !changed {
+			return x
+		}
+		return &Load{Buf: x.Buf, Index: idx}
+	case *Call:
+		args := make([]Expr, len(x.Args))
+		changed := false
+		for i, a := range x.Args {
+			args[i] = simplifyOnce(a)
+			changed = changed || args[i] != a
+		}
+		if !changed {
+			return x
+		}
+		return &Call{Fn: x.Fn, Args: args}
+	case *Select:
+		c, a, b := simplifyOnce(x.Cond), simplifyOnce(x.A), simplifyOnce(x.B)
+		if cv, ok := IsConst(c); ok {
+			if cv != 0 {
+				return a
+			}
+			return b
+		}
+		if c != x.Cond || a != x.A || b != x.B {
+			return &Select{Cond: c, A: a, B: b}
+		}
+		return x
+	case *Binary:
+		a, b := simplifyOnce(x.A), simplifyOnce(x.B)
+		// Rebuild through fold for constant folding and identities.
+		switch x.Op {
+		case Add, Sub, Mul, Div, Mod:
+			r := fold(x.Op, a, b)
+			if bin, ok := r.(*Binary); ok {
+				if s := reassociate(bin); s != nil {
+					return s
+				}
+			}
+			return r
+		case MaxOp, MinOp:
+			if sameExpr(a, b) {
+				return a
+			}
+			if ca, okA := IsConst(a); okA {
+				if cb, okB := IsConst(b); okB {
+					if x.Op == MaxOp {
+						return CInt(maxI64(ca, cb))
+					}
+					return CInt(minI64(ca, cb))
+				}
+			}
+		}
+		if a != x.A || b != x.B {
+			return &Binary{Op: x.Op, A: a, B: b}
+		}
+		return x
+	}
+	return e
+}
+
+// reassociate applies exact integer rewrites:
+//
+//	(x + c1) + c2  -> x + (c1+c2)
+//	(x * c1) * c2  -> x * (c1*c2)
+//	(x + c1) * c2  -> x*c2 + c1*c2
+//	c + x          -> x + c  (canonical constant-on-the-right)
+//
+// Returns nil when no rule applies.
+func reassociate(e *Binary) Expr {
+	switch e.Op {
+	case Add:
+		if c, ok := IsConst(e.A); ok {
+			// Canonicalize: constant on the right.
+			if _, bConst := IsConst(e.B); !bConst {
+				return fold(Add, e.B, CInt(c))
+			}
+		}
+		if c2, ok := IsConst(e.B); ok {
+			if inner, ok := e.A.(*Binary); ok && inner.Op == Add {
+				if c1, ok := IsConst(inner.B); ok {
+					return fold(Add, inner.A, CInt(c1+c2))
+				}
+			}
+		}
+	case Mul:
+		if c, ok := IsConst(e.A); ok {
+			if _, bConst := IsConst(e.B); !bConst {
+				return fold(Mul, e.B, CInt(c))
+			}
+		}
+		if c2, ok := IsConst(e.B); ok {
+			if inner, ok := e.A.(*Binary); ok {
+				switch inner.Op {
+				case Mul:
+					if c1, ok := IsConst(inner.B); ok {
+						return fold(Mul, inner.A, CInt(c1*c2))
+					}
+				case Add:
+					if c1, ok := IsConst(inner.B); ok {
+						return fold(Add, fold(Mul, inner.A, CInt(c2)), CInt(c1*c2))
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sameExpr reports structural equality (conservative: identical pointers or
+// equal literals/variables; deeper trees compare by rendered form).
+func sameExpr(a, b Expr) bool {
+	if a == b {
+		return true
+	}
+	ca, okA := IsConst(a)
+	cb, okB := IsConst(b)
+	if okA && okB {
+		return ca == cb
+	}
+	return a.String() == b.String()
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SimplifyStmt applies Simplify to every expression in a statement tree,
+// returning a rewritten copy (buffers and channels shared).
+func SimplifyStmt(s Stmt) Stmt {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *Block:
+		out := make([]Stmt, len(x.Stmts))
+		for i, c := range x.Stmts {
+			out[i] = SimplifyStmt(c)
+		}
+		return &Block{Stmts: out}
+	case *Alloc:
+		return x
+	case *For:
+		return &For{Var: x.Var, Extent: Simplify(x.Extent), Body: SimplifyStmt(x.Body), Unroll: x.Unroll}
+	case *Store:
+		idx := make([]Expr, len(x.Index))
+		for i, e := range x.Index {
+			idx[i] = Simplify(e)
+		}
+		return &Store{Buf: x.Buf, Index: idx, Value: Simplify(x.Value)}
+	case *ChannelWrite:
+		return &ChannelWrite{Ch: x.Ch, Value: Simplify(x.Value)}
+	case *IfThen:
+		return &IfThen{Cond: Simplify(x.Cond), Then: SimplifyStmt(x.Then), Else: SimplifyStmt(x.Else)}
+	}
+	return s
+}

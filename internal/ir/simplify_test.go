@@ -1,0 +1,167 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// evalConst evaluates an expression with x bound to val (int semantics).
+func evalConst(t *testing.T, e Expr, x *Var, val int64) int64 {
+	t.Helper()
+	var ev func(Expr) int64
+	ev = func(e Expr) int64 {
+		switch v := e.(type) {
+		case *IntImm:
+			return v.Value
+		case *Var:
+			if v != x {
+				t.Fatalf("unexpected var %s", v.Name)
+			}
+			return val
+		case *Binary:
+			a, b := ev(v.A), ev(v.B)
+			switch v.Op {
+			case Add:
+				return a + b
+			case Sub:
+				return a - b
+			case Mul:
+				return a * b
+			case Div:
+				return a / b
+			case Mod:
+				return a % b
+			case MaxOp:
+				return maxI64(a, b)
+			case MinOp:
+				return minI64(a, b)
+			}
+		case *Select:
+			if ev(v.Cond) != 0 {
+				return ev(v.A)
+			}
+			return ev(v.B)
+		}
+		t.Fatalf("cannot eval %T", e)
+		return 0
+	}
+	return ev(e)
+}
+
+func TestSimplifyReassociatesAddChains(t *testing.T) {
+	x := V("x")
+	// ((x+2)+3)+4 -> x+9
+	e := AddE(AddE(AddE(x, CInt(2)), CInt(3)), CInt(4))
+	s := Simplify(e)
+	if s.String() != "(x + 9)" {
+		t.Fatalf("got %s", s)
+	}
+}
+
+func TestSimplifyMulChainsAndDistribution(t *testing.T) {
+	x := V("x")
+	if s := Simplify(MulE(MulE(x, CInt(3)), CInt(4))); s.String() != "(x * 12)" {
+		t.Fatalf("mul chain: %s", s)
+	}
+	// (x+2)*3 -> x*3 + 6
+	if s := Simplify(MulE(AddE(x, CInt(2)), CInt(3))); s.String() != "((x * 3) + 6)" {
+		t.Fatalf("distribute: %s", s)
+	}
+}
+
+func TestSimplifyCanonicalizesConstLeft(t *testing.T) {
+	x := V("x")
+	if s := Simplify(AddE(CInt(5), x)); s.String() != "(x + 5)" {
+		t.Fatalf("const-left add: %s", s)
+	}
+	if s := Simplify(MulE(CInt(5), x)); s.String() != "(x * 5)" {
+		t.Fatalf("const-left mul: %s", s)
+	}
+}
+
+func TestSimplifyMinMax(t *testing.T) {
+	x := V("x")
+	if s := Simplify(MaxE(x, x)); s != Expr(x) {
+		t.Fatalf("max(x,x): %s", s)
+	}
+	if v, ok := IsConst(Simplify(MinE(CInt(3), CInt(7)))); !ok || v != 3 {
+		t.Fatal("min of constants")
+	}
+}
+
+func TestSimplifySelectConstCond(t *testing.T) {
+	x := V("x")
+	s := Simplify(&Select{Cond: CInt(1), A: x, B: CInt(9)})
+	if s != Expr(x) {
+		t.Fatalf("select true: %s", s)
+	}
+	s = Simplify(&Select{Cond: CInt(0), A: x, B: CInt(9)})
+	if v, ok := IsConst(s); !ok || v != 9 {
+		t.Fatalf("select false: %s", s)
+	}
+}
+
+func TestSimplifyStmtRewritesIndices(t *testing.T) {
+	b := NewBuffer("b", Global, 100)
+	i := V("i")
+	st := Loop(i, 10, &Store{Buf: b, Index: []Expr{AddE(AddE(MulE(i, CInt(2)), CInt(1)), CInt(2))}, Value: CFloat(0)})
+	out := SimplifyStmt(st)
+	if !strings.Contains(Dump(out), "((i * 2) + 3)") {
+		t.Fatalf("stmt simplify failed:\n%s", Dump(out))
+	}
+}
+
+// Property: Simplify preserves value for random affine-ish expressions over
+// one variable.
+func TestQuickSimplifyEquivalence(t *testing.T) {
+	x := V("x")
+	build := func(seed uint64) Expr {
+		// Construct a random expression tree from a small grammar.
+		e := Expr(x)
+		s := seed
+		for d := 0; d < 6; d++ {
+			s = s*2862933555777941757 + 3037000493
+			c := int64(s%13) - 6
+			if c == 0 {
+				c = 2
+			}
+			switch (s >> 8) % 5 {
+			case 0:
+				e = AddE(e, CInt(c))
+			case 1:
+				e = MulE(e, CInt(c))
+			case 2:
+				e = AddE(CInt(c), e)
+			case 3:
+				e = MaxE(e, CInt(c))
+			case 4:
+				e = SubE(e, CInt(c))
+			}
+		}
+		return e
+	}
+	f := func(seed uint64, valRaw int16) bool {
+		e := build(seed)
+		s := Simplify(e)
+		val := int64(valRaw)
+		return evalConst(t, e, x, val) == evalConst(t, s, x, val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Simplify is idempotent.
+func TestQuickSimplifyIdempotent(t *testing.T) {
+	x := V("x")
+	f := func(a, b, c int8) bool {
+		e := MulE(AddE(MulE(x, CInt(int64(a))), CInt(int64(b))), CInt(int64(c)))
+		s1 := Simplify(e)
+		s2 := Simplify(s1)
+		return s1.String() == s2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package nn is the model zoo: the three networks the thesis deploys —
+// LeNet-5 (Table 2.1), MobileNetV1 (Table 2.2) and ResNet-18/34 (Table 2.3)
+// — built as relay graphs with deterministic synthetic weights, plus a
+// procedural MNIST-style digit generator for the examples.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/relay"
+	"repro/internal/tensor"
+)
+
+// LeNet5 builds the LeNet-5 graph of Table 2.1 (ReLU activations, softmax
+// output, stride-2 2×2 pools producing the table's output sizes).
+func LeNet5() *relay.Graph {
+	g := relay.NewGraph()
+	x := g.Input(1, 28, 28)
+	x = g.ReLU(g.Conv(x, "conv1", 6, 3, 1, 0))  // 6x26x26
+	x = g.MaxPool(x, 2, 2, 0)                   // 6x13x13
+	x = g.ReLU(g.Conv(x, "conv2", 16, 3, 1, 0)) // 16x11x11
+	x = g.MaxPool(x, 2, 2, 0)                   // 16x5x5
+	x = g.Flatten(x)                            // 400
+	x = g.ReLU(g.Dense(x, "dense1", 120))
+	x = g.ReLU(g.Dense(x, "dense2", 84))
+	x = g.Dense(x, "dense3", 10)
+	x = g.Softmax(x)
+	g.InitWeights(41)
+	return g
+}
+
+// MobileNetV1 builds the graph of Table 2.2: a stride-2 3×3 stem, thirteen
+// depthwise-separable blocks (each depthwise + pointwise, both followed by
+// batch-norm and ReLU), global average pooling and a 1000-way classifier.
+func MobileNetV1() *relay.Graph {
+	g := relay.NewGraph()
+	x := g.Input(3, 224, 224)
+	x = g.ReLU6(g.BatchNorm(g.Conv(x, "conv_1", 32, 3, 2, 1), "conv_1_bn")) // 32x112x112
+	blocks := []struct {
+		c2, s int
+	}{
+		{64, 1},
+		{128, 2}, {128, 1},
+		{256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	for i, b := range blocks {
+		dw := fmt.Sprintf("conv_%d_dw", i+2)
+		pw := fmt.Sprintf("conv_%d", i+2)
+		x = g.ReLU6(g.BatchNorm(g.Depthwise(x, dw, 3, b.s, 1), dw+"_bn"))
+		x = g.ReLU6(g.BatchNorm(g.Conv(x, pw, b.c2, 1, 1, 0), pw+"_bn"))
+	}
+	x = g.AvgPool(x, 7, 1) // 1024x1x1
+	x = g.Flatten(x)
+	x = g.Dense(x, "fc", 1000)
+	x = g.Softmax(x)
+	g.InitWeights(42)
+	return g
+}
+
+// ResNet builds ResNet-18 or ResNet-34 (Table 2.3) from basic residual
+// blocks with identity shortcuts and stride-2 1×1 projections at stage
+// boundaries.
+func ResNet(depth int) (*relay.Graph, error) {
+	var blocks []int
+	switch depth {
+	case 18:
+		blocks = []int{2, 2, 2, 2}
+	case 34:
+		blocks = []int{3, 4, 6, 3}
+	default:
+		return nil, fmt.Errorf("nn: ResNet depth must be 18 or 34, got %d", depth)
+	}
+	g := relay.NewGraph()
+	x := g.Input(3, 224, 224)
+	x = g.ReLU(g.BatchNorm(g.Conv(x, "conv1", 64, 7, 2, 3), "bn1")) // 64x112x112
+	x = g.MaxPool(x, 3, 2, 1)                                       // 64x56x56
+	channels := []int{64, 128, 256, 512}
+	for stage, n := range blocks {
+		c2 := channels[stage]
+		for b := 0; b < n; b++ {
+			stride := 1
+			if stage > 0 && b == 0 {
+				stride = 2
+			}
+			name := fmt.Sprintf("conv%d_%d", stage+2, b+1)
+			skip := x
+			if stride != 1 || x.OutShape[0] != c2 {
+				skip = g.BatchNorm(g.Conv(x, name+"_proj", c2, 1, stride, 0), name+"_proj_bn")
+			}
+			y := g.ReLU(g.BatchNorm(g.Conv(x, name+"a", c2, 3, stride, 1), name+"a_bn"))
+			y = g.BatchNorm(g.Conv(y, name+"b", c2, 3, 1, 1), name+"b_bn")
+			x = g.ReLU(g.Add(y, skip))
+		}
+	}
+	x = g.AvgPool(x, 7, 1) // 512x1x1
+	x = g.Flatten(x)
+	x = g.Dense(x, "fc", 1000)
+	x = g.Softmax(x)
+	g.InitWeights(uint64(depth))
+	return g, nil
+}
+
+// AlexNet builds the 2012 ImageNet winner (Krizhevsky et al.) — the network
+// DNNWeaver reports its headline GFLOPS on. The thesis could only compare
+// its MobileNet accelerator against DNNWeaver's AlexNet numbers (§6.6.2,
+// fn. 4); having AlexNet in the zoo lets this reproduction make the direct
+// comparison. LRN layers are omitted (standard in modern reimplementations).
+func AlexNet() *relay.Graph {
+	g := relay.NewGraph()
+	x := g.Input(3, 227, 227)
+	x = g.ReLU(g.Conv(x, "conv1", 96, 11, 4, 0)) // 96x55x55
+	x = g.MaxPool(x, 3, 2, 0)                    // 96x27x27
+	x = g.ReLU(g.Conv(x, "conv2", 256, 5, 1, 2)) // 256x27x27
+	x = g.MaxPool(x, 3, 2, 0)                    // 256x13x13
+	x = g.ReLU(g.Conv(x, "conv3", 384, 3, 1, 1)) // 384x13x13
+	x = g.ReLU(g.Conv(x, "conv4", 384, 3, 1, 1)) // 384x13x13
+	x = g.ReLU(g.Conv(x, "conv5", 256, 3, 1, 1)) // 256x13x13
+	x = g.MaxPool(x, 3, 2, 0)                    // 256x6x6
+	x = g.Flatten(x)                             // 9216
+	x = g.ReLU(g.Dense(x, "fc6", 4096))
+	x = g.ReLU(g.Dense(x, "fc7", 4096))
+	x = g.Dense(x, "fc8", 1000)
+	x = g.Softmax(x)
+	g.InitWeights(12)
+	return g
+}
+
+// GoogLeNet builds Inception-v1 (Szegedy et al. 2015) — the network Intel
+// DLA showcases (§7) and a workout for the concat operator: nine inception
+// modules, each concatenating four branches along the channel axis.
+// Auxiliary classifiers and LRN are omitted (standard for inference).
+func GoogLeNet() *relay.Graph {
+	g := relay.NewGraph()
+	x := g.Input(3, 224, 224)
+	x = g.ReLU(g.Conv(x, "conv1", 64, 7, 2, 3)) // 64x112x112
+	x = g.MaxPool(x, 3, 2, 1)                   // 64x56x56
+	x = g.ReLU(g.Conv(x, "conv2r", 64, 1, 1, 0))
+	x = g.ReLU(g.Conv(x, "conv2", 192, 3, 1, 1)) // 192x56x56
+	x = g.MaxPool(x, 3, 2, 1)                    // 192x28x28
+
+	incep := func(x *relay.Node, name string, c1, r3, c3, r5, c5, pp int) *relay.Node {
+		b1 := g.ReLU(g.Conv(x, name+"_1x1", c1, 1, 1, 0))
+		b2 := g.ReLU(g.Conv(x, name+"_3x3r", r3, 1, 1, 0))
+		b2 = g.ReLU(g.Conv(b2, name+"_3x3", c3, 3, 1, 1))
+		b3 := g.ReLU(g.Conv(x, name+"_5x5r", r5, 1, 1, 0))
+		b3 = g.ReLU(g.Conv(b3, name+"_5x5", c5, 5, 1, 2))
+		b4 := g.MaxPool(x, 3, 1, 1)
+		b4 = g.ReLU(g.Conv(b4, name+"_pool", pp, 1, 1, 0))
+		return g.Concat(b1, b2, b3, b4)
+	}
+	x = incep(x, "3a", 64, 96, 128, 16, 32, 32)     // 256x28x28
+	x = incep(x, "3b", 128, 128, 192, 32, 96, 64)   // 480x28x28
+	x = g.MaxPool(x, 3, 2, 1)                       // 480x14x14
+	x = incep(x, "4a", 192, 96, 208, 16, 48, 64)    // 512x14x14
+	x = incep(x, "4b", 160, 112, 224, 24, 64, 64)   // 512x14x14
+	x = incep(x, "4c", 128, 128, 256, 24, 64, 64)   // 512x14x14
+	x = incep(x, "4d", 112, 144, 288, 32, 64, 64)   // 528x14x14
+	x = incep(x, "4e", 256, 160, 320, 32, 128, 128) // 832x14x14
+	x = g.MaxPool(x, 3, 2, 1)                       // 832x7x7
+	x = incep(x, "5a", 256, 160, 320, 32, 128, 128) // 832x7x7
+	x = incep(x, "5b", 384, 192, 384, 48, 128, 128) // 1024x7x7
+	x = g.AvgPool(x, 7, 1)                          // 1024
+	x = g.Flatten(x)
+	x = g.Dense(x, "fc", 1000)
+	x = g.Softmax(x)
+	g.InitWeights(2015)
+	return g
+}
+
+// ByName returns a built network by its canonical name.
+func ByName(name string) (*relay.Graph, error) {
+	switch name {
+	case "lenet5":
+		return LeNet5(), nil
+	case "mobilenetv1":
+		return MobileNetV1(), nil
+	case "resnet18":
+		return ResNet(18)
+	case "resnet34":
+		return ResNet(34)
+	case "alexnet":
+		return AlexNet(), nil
+	case "googlenet":
+		return GoogLeNet(), nil
+	}
+	return nil, fmt.Errorf("nn: unknown network %q", name)
+}
+
+// NoisyDigit renders digit d with deterministic additive noise in [0,amp],
+// for robustness checks of the deployed classifiers.
+func NoisyDigit(d int, seed uint64, amp float32) *tensor.Tensor {
+	img := Digit(d)
+	noise := tensor.New(1, 28, 28)
+	noise.FillSeq(seed)
+	for i := range img.Data {
+		n := (noise.Data[i] + 1) / 2 * amp
+		v := img.Data[i] + n
+		if v > 1 {
+			v = 1
+		}
+		img.Data[i] = v
+	}
+	return img
+}
+
+// digitFont is a 5x7 bitmap font for 0-9, used by the synthetic MNIST-style
+// input generator.
+var digitFont = [10][7]uint8{
+	{0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110}, // 0
+	{0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110}, // 1
+	{0b01110, 0b10001, 0b00001, 0b00110, 0b01000, 0b10000, 0b11111}, // 2
+	{0b01110, 0b10001, 0b00001, 0b00110, 0b00001, 0b10001, 0b01110}, // 3
+	{0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010}, // 4
+	{0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110}, // 5
+	{0b01110, 0b10000, 0b11110, 0b10001, 0b10001, 0b10001, 0b01110}, // 6
+	{0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000}, // 7
+	{0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110}, // 8
+	{0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00001, 0b01110}, // 9
+}
+
+// Digit renders digit d (0-9) as a 1x28x28 MNIST-style image: the 5x7 glyph
+// upscaled 3x and centered, values in [0,1].
+func Digit(d int) *tensor.Tensor {
+	if d < 0 || d > 9 {
+		panic(fmt.Sprintf("nn: digit out of range: %d", d))
+	}
+	img := tensor.New(1, 28, 28)
+	const scale = 3
+	offY := (28 - 7*scale) / 2
+	offX := (28 - 5*scale) / 2
+	for row := 0; row < 7; row++ {
+		bits := digitFont[d][row]
+		for col := 0; col < 5; col++ {
+			if bits&(1<<(4-col)) == 0 {
+				continue
+			}
+			for dy := 0; dy < scale; dy++ {
+				for dx := 0; dx < scale; dx++ {
+					img.Set(1, 0, offY+row*scale+dy, offX+col*scale+dx)
+				}
+			}
+		}
+	}
+	return img
+}
+
+// RandomImage builds a deterministic synthetic input of the given shape with
+// values in [0,1] (the thesis uses random ImageNet-size inputs because
+// values do not affect computation time, §6.1.1).
+func RandomImage(seed uint64, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	t.FillSeq(seed)
+	for i, v := range t.Data {
+		t.Data[i] = (v + 1) / 2
+	}
+	return t
+}

@@ -1,0 +1,225 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relay"
+)
+
+func TestLeNetShapesAndCounts(t *testing.T) {
+	g := LeNet5()
+	if got := g.Output.OutShape[0]; got != 10 {
+		t.Fatalf("LeNet output = %v", g.Output.OutShape)
+	}
+	// Table 2.1 intermediate shapes.
+	shapes := map[string][]int{}
+	for _, n := range g.Nodes {
+		shapes[n.Name] = n.OutShape
+	}
+	if s := shapes["conv1"]; s[0] != 6 || s[1] != 26 {
+		t.Fatalf("conv1 shape = %v", s)
+	}
+	if s := shapes["conv2"]; s[0] != 16 || s[1] != 11 {
+		t.Fatalf("conv2 shape = %v", s)
+	}
+	// ~60K parameters, ~389K FLOPs (§6.3.1); allow model-definition slack.
+	if p := g.Params(); p < 55e3 || p > 70e3 {
+		t.Fatalf("LeNet params = %d, thesis reports ~60K", p)
+	}
+	if f := g.FLOPs(); f < 350e3 || f > 450e3 {
+		t.Fatalf("LeNet FLOPs = %d, thesis reports 389K", f)
+	}
+}
+
+func TestMobileNetShapesAndCounts(t *testing.T) {
+	g := MobileNetV1()
+	if g.Output.OutShape[0] != 1000 {
+		t.Fatalf("output = %v", g.Output.OutShape)
+	}
+	// Table 2.2: conv_1 -> 32x112x112; conv_7 -> 512x14x14.
+	for _, n := range g.Nodes {
+		switch n.Name {
+		case "conv_1":
+			if n.OutShape[0] != 32 || n.OutShape[1] != 112 {
+				t.Fatalf("conv_1 = %v", n.OutShape)
+			}
+		case "conv_8":
+			if n.OutShape[0] != 512 || n.OutShape[1] != 14 {
+				t.Fatalf("conv_8 = %v", n.OutShape)
+			}
+		case "conv_14":
+			if n.OutShape[0] != 1024 || n.OutShape[1] != 7 {
+				t.Fatalf("conv_14 = %v", n.OutShape)
+			}
+		}
+	}
+	// 4.2M params, 1.11G FLOPs (Table 6.11), within 10%.
+	if p := g.Params(); math.Abs(float64(p)-4.2e6) > 0.1*4.2e6 {
+		t.Fatalf("MobileNet params = %d, thesis 4.2M", p)
+	}
+	if f := g.FLOPs(); math.Abs(float64(f)-1.11e9) > 0.1*1.11e9 {
+		t.Fatalf("MobileNet FLOPs = %d, thesis 1.11G", f)
+	}
+	// 1x1 convolutions carry ~94.9% of multiply-adds (§3.1).
+	var pw, total int64
+	layers, err := relay.Lower(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range layers {
+		total += l.FLOPs()
+		if l.Kind == relay.KConv && l.F == 1 {
+			pw += l.FLOPs()
+		}
+	}
+	if frac := float64(pw) / float64(total); frac < 0.92 || frac > 0.97 {
+		t.Fatalf("1x1 conv share = %.3f, thesis 0.949", frac)
+	}
+}
+
+func TestResNetCounts(t *testing.T) {
+	for _, tc := range []struct {
+		depth  int
+		params float64
+		flops  float64
+	}{
+		{18, 11.7e6, 3.66e9},
+		{34, 21.8e6, 7.36e9},
+	} {
+		g, err := ResNet(tc.depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Output.OutShape[0] != 1000 {
+			t.Fatalf("ResNet-%d output = %v", tc.depth, g.Output.OutShape)
+		}
+		if p := float64(g.Params()); math.Abs(p-tc.params) > 0.08*tc.params {
+			t.Fatalf("ResNet-%d params = %.0f, thesis %.0f", tc.depth, p, tc.params)
+		}
+		if f := float64(g.FLOPs()); math.Abs(f-tc.flops) > 0.08*tc.flops {
+			t.Fatalf("ResNet-%d FLOPs = %.0f, thesis %.0f", tc.depth, f, tc.flops)
+		}
+	}
+	if _, err := ResNet(50); err == nil {
+		t.Fatal("ResNet-50 is out of scope and must error")
+	}
+}
+
+func TestResNetLowersWithResiduals(t *testing.T) {
+	g, _ := ResNet(18)
+	layers, err := relay.Lower(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	residuals, projections := 0, 0
+	for _, l := range layers {
+		if l.Skip >= 0 {
+			residuals++
+		}
+		if l.Kind == relay.KConv && l.F == 1 {
+			projections++
+		}
+	}
+	// 8 basic blocks -> 8 fused residual adds; 3 stage-boundary projections.
+	if residuals != 8 {
+		t.Fatalf("ResNet-18 residual fusions = %d, want 8", residuals)
+	}
+	if projections != 3 {
+		t.Fatalf("ResNet-18 projections = %d, want 3", projections)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"lenet5", "mobilenetv1", "resnet18", "resnet34"} {
+		if _, err := ByName(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("vgg16"); err == nil {
+		t.Fatal("unknown net must error")
+	}
+}
+
+func TestDigitGenerator(t *testing.T) {
+	seen := map[string]bool{}
+	for d := 0; d <= 9; d++ {
+		img := Digit(d)
+		if img.Shape[1] != 28 || img.Shape[2] != 28 {
+			t.Fatalf("digit shape = %v", img.Shape)
+		}
+		if img.Sum() == 0 {
+			t.Fatalf("digit %d is blank", d)
+		}
+		key := ""
+		for _, v := range img.Data {
+			if v > 0 {
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		if seen[key] {
+			t.Fatalf("digit %d renders identically to another digit", d)
+		}
+		seen[key] = true
+	}
+}
+
+func TestDigitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Digit(10)
+}
+
+func TestRandomImageRange(t *testing.T) {
+	img := RandomImage(3, 3, 8, 8)
+	for _, v := range img.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("value out of [0,1]: %v", v)
+		}
+	}
+	img2 := RandomImage(3, 3, 8, 8)
+	for i := range img.Data {
+		if img.Data[i] != img2.Data[i] {
+			t.Fatal("RandomImage must be deterministic")
+		}
+	}
+}
+
+func TestGoogLeNetShapesAndCounts(t *testing.T) {
+	g := GoogLeNet()
+	if g.Output.OutShape[0] != 1000 {
+		t.Fatalf("output = %v", g.Output.OutShape)
+	}
+	// ~7.0M params and ~3.0G FLOPs (2x 1.5 GMACs) for Inception v1.
+	if p := float64(g.Params()); math.Abs(p-7.0e6) > 0.15*7.0e6 {
+		t.Fatalf("GoogLeNet params = %.0f, want ~7.0M", p)
+	}
+	if f := float64(g.FLOPs()); math.Abs(f-3.0e9) > 0.15*3.0e9 {
+		t.Fatalf("GoogLeNet FLOPs = %.0f, want ~3.0G", f)
+	}
+	// Shape checks at module boundaries.
+	for _, n := range g.Nodes {
+		switch n.Name {
+		case "3a_1x1":
+			if n.Inputs[0].OutShape[0] != 192 {
+				t.Fatalf("3a input channels = %v", n.Inputs[0].OutShape)
+			}
+		case "5b_pool":
+			if n.OutShape[0] != 128 || n.OutShape[1] != 7 {
+				t.Fatalf("5b pool proj = %v", n.OutShape)
+			}
+		}
+	}
+	// Concat outputs: 3a -> 256 channels.
+	for _, n := range g.Nodes {
+		if n.Kind == relay.KConcat && n.OutShape[0] == 256 && n.OutShape[1] == 28 {
+			return
+		}
+	}
+	t.Fatal("3a concat (256x28x28) not found")
+}

@@ -1,0 +1,60 @@
+package relay
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DumpGraph renders the operator graph before fusion, one node per line —
+// the Relay-IR view of the imported model.
+func DumpGraph(g *Graph) string {
+	var b strings.Builder
+	for _, n := range g.Nodes {
+		ins := make([]string, len(n.Inputs))
+		for i, in := range n.Inputs {
+			ins[i] = fmt.Sprintf("%%%d", in.ID)
+		}
+		attr := ""
+		switch n.Kind {
+		case KConv, KDepthwise:
+			attr = fmt.Sprintf(" f=%d s=%d c2=%d", n.F, n.S, n.C2)
+		case KMaxPool, KAvgPool:
+			attr = fmt.Sprintf(" f=%d s=%d", n.F, n.S)
+		case KPad:
+			attr = fmt.Sprintf(" p=%d", n.P)
+		case KDense:
+			attr = fmt.Sprintf(" units=%d", n.Units)
+		}
+		fmt.Fprintf(&b, "%%%-3d = %s(%s)%s -> %v", n.ID, n.Kind, strings.Join(ins, ", "), attr, n.OutShape)
+		if n.Name != "" && !strings.HasPrefix(n.Name, n.Kind.String()) {
+			fmt.Fprintf(&b, "  // %s", n.Name)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "output: %%%d\n", g.Output.ID)
+	return b.String()
+}
+
+// DumpLayers renders the fused layer sequence — the post-fusion view that
+// maps one-to-one onto generated kernels.
+func DumpLayers(layers []*Layer) string {
+	var b strings.Builder
+	for i, l := range layers {
+		flags := ""
+		if l.Relu {
+			flags += " +relu"
+		}
+		if l.Relu6 {
+			flags += " +relu6"
+		}
+		if l.HasSkip {
+			flags += fmt.Sprintf(" +skip(L%d)", l.Skip)
+		}
+		if l.B != nil {
+			flags += " +bias"
+		}
+		fmt.Fprintf(&b, "L%-3d %-18s %-16s in=L%-3d %v -> %v%s\n",
+			i, l.Name, l.Kind.String(), l.In, l.InShape, l.OutShape, flags)
+	}
+	return b.String()
+}

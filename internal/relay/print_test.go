@@ -1,0 +1,38 @@
+package relay
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpGraphRendersNodesAndEdges(t *testing.T) {
+	g := smallGraph()
+	out := DumpGraph(g)
+	for _, want := range []string{"input()", "conv2d(", "batch_norm(", "relu(", "softmax(", "output: %"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("graph dump missing %q:\n%s", want, out)
+		}
+	}
+	// Edges reference producing node IDs.
+	if !strings.Contains(out, "(%0)") {
+		t.Fatalf("graph dump missing input edge:\n%s", out)
+	}
+}
+
+func TestDumpLayersShowsFusionFlags(t *testing.T) {
+	g := NewGraph()
+	x := g.Input(4, 8, 8)
+	skip := x
+	y := g.ReLU(g.Conv(x, "a", 4, 3, 1, 1))
+	y = g.Conv(y, "b", 4, 3, 1, 1)
+	g.ReLU(g.Add(y, skip))
+	g.InitWeights(1)
+	layers, err := Lower(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DumpLayers(layers)
+	if !strings.Contains(out, "+relu") || !strings.Contains(out, "+skip(L-1)") || !strings.Contains(out, "+bias") {
+		t.Fatalf("layer dump missing fusion flags:\n%s", out)
+	}
+}

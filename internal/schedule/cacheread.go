@@ -1,0 +1,80 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// CacheRead implements the read-cache staging of §5.1.1 ("we create read
+// caches for I and W"): a global buffer is copied into an on-chip buffer by
+// a prologue loop nest, and every subsequent load is redirected to the
+// on-chip copy. The buffer must have constant extents (the copy loop bounds
+// are materialized); symbolic-shape kernels rely on AOC's inferred caches
+// instead (§2.4.3), which the aoc model handles.
+//
+// The transformation applies to kernels that only *read* buf; staging a
+// buffer that the kernel writes would change memory visibility.
+func CacheRead(k *ir.Kernel, buf *ir.Buffer, scope ir.Scope) (*ir.Kernel, error) {
+	if scope == ir.Global {
+		return nil, fmt.Errorf("cacheread: target scope must be on-chip")
+	}
+	if buf.Scope != ir.Global && buf.Scope != ir.Constant {
+		return nil, fmt.Errorf("cacheread: %s is already on-chip", buf.Name)
+	}
+	isArg := false
+	for _, a := range k.Args {
+		if a == buf {
+			isArg = true
+		}
+	}
+	if !isArg {
+		return nil, fmt.Errorf("cacheread: buffer %s is not an argument of kernel %s", buf.Name, k.Name)
+	}
+	written := false
+	read := false
+	ir.WalkStmt(k.Body, func(s ir.Stmt) {
+		if st, ok := s.(*ir.Store); ok && st.Buf == buf {
+			written = true
+		}
+	})
+	ir.WalkExprs(k.Body, func(e ir.Expr) {
+		if l, ok := e.(*ir.Load); ok && l.Buf == buf {
+			read = true
+		}
+	})
+	if written {
+		return nil, fmt.Errorf("cacheread: kernel %s writes %s; only read-only buffers can be staged", k.Name, buf.Name)
+	}
+	if !read {
+		return nil, fmt.Errorf("cacheread: kernel %s never reads %s", k.Name, buf.Name)
+	}
+	dims := make([]int, len(buf.Shape))
+	for i, d := range buf.Shape {
+		n, ok := ir.IsConst(d)
+		if !ok {
+			return nil, fmt.Errorf("cacheread: %s has symbolic extents; rely on AOC's inferred caches instead", buf.Name)
+		}
+		dims[i] = int(n)
+	}
+
+	local := &ir.Buffer{Name: buf.Name + "_lc", Shape: buf.Shape, Scope: scope, Elem: buf.Elem}
+	// Prologue copy nest: local[idx...] = buf[idx...].
+	vars := make([]*ir.Var, len(dims))
+	idx := make([]ir.Expr, len(dims))
+	for i := range dims {
+		vars[i] = ir.V(fmt.Sprintf("cr%d", i))
+		idx[i] = vars[i]
+	}
+	copyStmt := ir.Stmt(&ir.Store{Buf: local, Index: idx, Value: &ir.Load{Buf: buf, Index: idx}})
+	for i := len(dims) - 1; i >= 0; i-- {
+		copyStmt = ir.Loop(vars[i], dims[i], copyStmt)
+	}
+
+	// Redirect every load of buf to the local copy; stores were excluded.
+	body := replaceBuffer(k.Body, buf, local)
+	return &ir.Kernel{
+		Name: k.Name, Args: k.Args, ScalarArgs: k.ScalarArgs, Autorun: k.Autorun,
+		Body: ir.Seq(&ir.Alloc{Buf: local}, copyStmt, body),
+	}, nil
+}

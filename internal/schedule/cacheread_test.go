@@ -1,0 +1,122 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+func TestCacheReadPreservesSemantics(t *testing.T) {
+	k, x, y, c, _, _ := matvec(8, 12)
+	ref := append([]float32(nil), runMatvec(t, k, x, y, c, 8, 12)...)
+
+	staged, err := CacheRead(k, x, ir.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := staged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := runMatvec(t, staged, x, y, c, 8, 12)
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatal("cacheread changed semantics")
+		}
+	}
+	// The staged kernel loads x from global memory exactly once per element:
+	// only the prologue copy references the original buffer.
+	loads := 0
+	ir.WalkExprs(staged.Body, func(e ir.Expr) {
+		if l, ok := e.(*ir.Load); ok && l.Buf == x {
+			loads++
+		}
+	})
+	if loads != 1 {
+		t.Fatalf("original buffer referenced %d times, want 1 (the copy loop)", loads)
+	}
+	// A local alloc was introduced.
+	found := false
+	for _, b := range staged.Allocs() {
+		if b.Scope == ir.Local && strings.HasSuffix(b.Name, "_lc") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing local staging buffer")
+	}
+}
+
+func TestCacheReadChainsWithWeights(t *testing.T) {
+	// Stage both inputs, as the thesis does for I and W.
+	k, x, y, c, _, _ := matvec(4, 8)
+	ref := append([]float32(nil), runMatvec(t, k, x, y, c, 4, 8)...)
+	s1, err := CacheRead(k, x, ir.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := CacheRead(s1, y, ir.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runMatvec(t, s2, x, y, c, 4, 8)
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatal("double cacheread changed semantics")
+		}
+	}
+}
+
+func TestCacheReadRejectsWrittenBuffer(t *testing.T) {
+	k, _, _, c, _, _ := matvec(4, 8)
+	if _, err := CacheRead(k, c, ir.Local); err == nil ||
+		!strings.Contains(err.Error(), "writes") {
+		t.Fatalf("want written-buffer rejection, got %v", err)
+	}
+}
+
+func TestCacheReadRejectsNonArgument(t *testing.T) {
+	k, _, _, _, _, _ := matvec(4, 8)
+	ghost := ir.NewBuffer("ghost", ir.Global, 4)
+	if _, err := CacheRead(k, ghost, ir.Local); err == nil {
+		t.Fatal("want non-argument rejection")
+	}
+}
+
+func TestCacheReadRejectsSymbolic(t *testing.T) {
+	n := ir.Param("n")
+	in := ir.NewBufferE("in", ir.Global, n)
+	out := ir.NewBufferE("out", ir.Global, n)
+	i := ir.V("i")
+	k := &ir.Kernel{Name: "sym", Args: []*ir.Buffer{in, out}, ScalarArgs: []*ir.Var{n},
+		Body: ir.LoopE(i, n, &ir.Store{Buf: out, Index: []ir.Expr{i}, Value: &ir.Load{Buf: in, Index: []ir.Expr{i}}})}
+	if _, err := CacheRead(k, in, ir.Local); err == nil ||
+		!strings.Contains(err.Error(), "symbolic") {
+		t.Fatalf("want symbolic rejection, got %v", err)
+	}
+}
+
+func TestCacheReadRejectsGlobalTarget(t *testing.T) {
+	k, x, _, _, _, _ := matvec(4, 8)
+	if _, err := CacheRead(k, x, ir.Global); err == nil {
+		t.Fatal("want on-chip-scope requirement")
+	}
+}
+
+// Functional check through the interpreter that the staged buffer is truly
+// local: the machine must not require extra bindings.
+func TestCacheReadInterpreterIntegration(t *testing.T) {
+	k, x, y, c, _, _ := matvec(4, 8)
+	staged, err := CacheRead(k, y, ir.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMachine()
+	m.Bind(x, make([]float32, 8))
+	m.Bind(y, make([]float32, 32))
+	m.Bind(c, make([]float32, 4))
+	if err := m.Run(staged, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,399 @@
+// Package schedule implements the loop-nest transformations the thesis applies
+// to TVM-generated kernels (Ch. 4/5): loop splitting / strip-mining / tiling,
+// reordering, unrolling (pragma annotation), fusion of adjacent loops,
+// loop-invariant code motion, and cache-write scope demotion. Like TVM's
+// schedule primitives, these are *user-directed*: each primitive checks the
+// structural preconditions it can (divisibility, perfect nesting, adjacency,
+// invariance) and trusts the schedule author for deeper legality, which the
+// interpreter-vs-reference tests then verify numerically.
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// findLoop returns the For node binding v, or nil.
+func findLoop(s ir.Stmt, v *ir.Var) *ir.For {
+	var found *ir.For
+	ir.WalkStmt(s, func(n ir.Stmt) {
+		if f, ok := n.(*ir.For); ok && f.Var == v {
+			found = f
+		}
+	})
+	return found
+}
+
+// rewrite returns a copy of s where the For binding v has been replaced by
+// repl(oldLoop). Nodes outside the path to the loop are shared, not copied.
+func rewrite(s ir.Stmt, v *ir.Var, repl func(*ir.For) ir.Stmt) (ir.Stmt, bool) {
+	switch x := s.(type) {
+	case nil:
+		return nil, false
+	case *ir.Block:
+		for i, c := range x.Stmts {
+			if nc, ok := rewrite(c, v, repl); ok {
+				out := make([]ir.Stmt, len(x.Stmts))
+				copy(out, x.Stmts)
+				out[i] = nc
+				return &ir.Block{Stmts: out}, true
+			}
+		}
+		return x, false
+	case *ir.For:
+		if x.Var == v {
+			return repl(x), true
+		}
+		if nb, ok := rewrite(x.Body, v, repl); ok {
+			return &ir.For{Var: x.Var, Extent: x.Extent, Body: nb, Unroll: x.Unroll}, true
+		}
+		return x, false
+	case *ir.IfThen:
+		if nt, ok := rewrite(x.Then, v, repl); ok {
+			return &ir.IfThen{Cond: x.Cond, Then: nt, Else: x.Else}, true
+		}
+		if ne, ok := rewrite(x.Else, v, repl); ok {
+			return &ir.IfThen{Cond: x.Cond, Then: x.Then, Else: ne}, true
+		}
+		return x, false
+	default:
+		return x, false
+	}
+}
+
+// Split strip-mines the loop binding v by factor: `for v in [0,N)` becomes
+// `for vo in [0,N/factor) { for vi in [0,factor) }` with v := vo*factor+vi.
+// Following the thesis's factor-selection requirement 2 (§4.11), the extent
+// must be constant and evenly divisible — no epilogue loops are generated.
+// Returns the new body and the outer/inner loop variables.
+func Split(body ir.Stmt, v *ir.Var, factor int) (ir.Stmt, *ir.Var, *ir.Var, error) {
+	if factor <= 0 {
+		return nil, nil, nil, fmt.Errorf("split %s: factor %d must be positive", v.Name, factor)
+	}
+	loop := findLoop(body, v)
+	if loop == nil {
+		return nil, nil, nil, fmt.Errorf("split: loop %s not found", v.Name)
+	}
+	n, ok := ir.IsConst(loop.Extent)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("split %s: extent %s is not constant (symbolic loops cannot be strip-mined without an epilogue)", v.Name, loop.Extent)
+	}
+	if n%int64(factor) != 0 {
+		return nil, nil, nil, fmt.Errorf("split %s: extent %d not divisible by factor %d", v.Name, n, factor)
+	}
+	vo := ir.V(v.Name + "o")
+	vi := ir.V(v.Name + "i")
+	out, _ := rewrite(body, v, func(f *ir.For) ir.Stmt {
+		inner := &ir.For{Var: vi, Extent: ir.CInt(int64(factor)),
+			Body: ir.SubstStmt(f.Body, v, ir.AddE(ir.MulE(vo, ir.CInt(int64(factor))), vi))}
+		return &ir.For{Var: vo, Extent: ir.CInt(n / int64(factor)), Body: inner}
+	})
+	return out, vo, vi, nil
+}
+
+// Tile strip-mines two loops (the 2-D form of Split, §4.2), returning
+// (body, xo, xi, yo, yi).
+func Tile(body ir.Stmt, x, y *ir.Var, fx, fy int) (ir.Stmt, *ir.Var, *ir.Var, *ir.Var, *ir.Var, error) {
+	b1, xo, xi, err := Split(body, x, fx)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	b2, yo, yi, err := Split(b1, y, fy)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	return b2, xo, xi, yo, yi, nil
+}
+
+// Unroll annotates the loop binding v with an unroll pragma. factor -1 means
+// full unroll (#pragma unroll); factor > 1 first splits by factor and fully
+// unrolls the inner loop, matching AOC's partial-unroll semantics.
+func Unroll(body ir.Stmt, v *ir.Var, factor int) (ir.Stmt, error) {
+	loop := findLoop(body, v)
+	if loop == nil {
+		return nil, fmt.Errorf("unroll: loop %s not found", v.Name)
+	}
+	if factor == -1 {
+		// AOC refuses to fully unroll loops with non-constant bounds (§4.1).
+		if _, ok := ir.IsConst(loop.Extent); !ok {
+			return nil, fmt.Errorf("unroll %s: cannot fully unroll non-constant extent %s", v.Name, loop.Extent)
+		}
+		out, _ := rewrite(body, v, func(f *ir.For) ir.Stmt {
+			return &ir.For{Var: f.Var, Extent: f.Extent, Body: f.Body, Unroll: -1}
+		})
+		return out, nil
+	}
+	if factor <= 1 {
+		return nil, fmt.Errorf("unroll %s: bad factor %d", v.Name, factor)
+	}
+	b, _, vi, err := Split(body, v, factor)
+	if err != nil {
+		return nil, err
+	}
+	return Unroll(b, vi, -1)
+}
+
+// Reorder permutes a perfectly nested band of loops so that, outermost first,
+// they bind order[0], order[1], ... The loops must form a perfect nest (each
+// loop's body is exactly the next loop) starting at the loop binding order[0]'s
+// current outermost member.
+func Reorder(body ir.Stmt, order ...*ir.Var) (ir.Stmt, error) {
+	if len(order) < 2 {
+		return body, nil
+	}
+	want := map[*ir.Var]bool{}
+	for _, v := range order {
+		want[v] = true
+	}
+	// Find the outermost loop of the band: the first loop in pre-order whose
+	// var is in the set.
+	var outer *ir.For
+	ir.WalkStmt(body, func(n ir.Stmt) {
+		if outer != nil {
+			return
+		}
+		if f, ok := n.(*ir.For); ok && want[f.Var] {
+			outer = f
+		}
+	})
+	if outer == nil {
+		return nil, fmt.Errorf("reorder: no loop of the band found")
+	}
+	// Collect the perfect nest.
+	loops := []*ir.For{outer}
+	cur := outer
+	for len(loops) < len(order) {
+		next, ok := cur.Body.(*ir.For)
+		if !ok || !want[next.Var] {
+			return nil, fmt.Errorf("reorder: loops are not perfectly nested at %s", cur.Var.Name)
+		}
+		loops = append(loops, next)
+		cur = next
+	}
+	byVar := map[*ir.Var]*ir.For{}
+	for _, f := range loops {
+		byVar[f.Var] = f
+	}
+	for _, v := range order {
+		if byVar[v] == nil {
+			return nil, fmt.Errorf("reorder: loop %s not in the perfect nest", v.Name)
+		}
+	}
+	innermost := loops[len(loops)-1].Body
+	// Rebuild from the inside out in the requested order.
+	nest := innermost
+	for i := len(order) - 1; i >= 0; i-- {
+		f := byVar[order[i]]
+		nest = &ir.For{Var: f.Var, Extent: f.Extent, Body: nest, Unroll: f.Unroll}
+	}
+	out, ok := rewrite(body, outer.Var, func(*ir.For) ir.Stmt { return nest })
+	if !ok {
+		return nil, fmt.Errorf("reorder: internal rewrite failure")
+	}
+	return out, nil
+}
+
+// FuseAdjacent merges the loop binding v2 into the loop binding v1 (§4.3).
+// The two loops must be adjacent statements of the same block and have equal
+// constant extents; v2's body is appended to v1's with v2 := v1. There must
+// be no backward dependence from the second loop to later iterations of the
+// first — as in TVM, the schedule author asserts this.
+func FuseAdjacent(body ir.Stmt, v1, v2 *ir.Var) (ir.Stmt, error) {
+	var out ir.Stmt
+	var applied bool
+	var visit func(s ir.Stmt) ir.Stmt
+	visit = func(s ir.Stmt) ir.Stmt {
+		switch x := s.(type) {
+		case *ir.Block:
+			for i := 0; i+1 < len(x.Stmts); i++ {
+				f1, ok1 := x.Stmts[i].(*ir.For)
+				f2, ok2 := x.Stmts[i+1].(*ir.For)
+				if ok1 && ok2 && f1.Var == v1 && f2.Var == v2 {
+					n1, c1 := ir.IsConst(f1.Extent)
+					n2, c2 := ir.IsConst(f2.Extent)
+					if !c1 || !c2 || n1 != n2 {
+						return x // handled via error below
+					}
+					fused := &ir.For{Var: f1.Var, Extent: f1.Extent, Unroll: f1.Unroll,
+						Body: ir.Seq(f1.Body, ir.SubstStmt(f2.Body, v2, v1))}
+					stmts := make([]ir.Stmt, 0, len(x.Stmts)-1)
+					stmts = append(stmts, x.Stmts[:i]...)
+					stmts = append(stmts, fused)
+					stmts = append(stmts, x.Stmts[i+2:]...)
+					applied = true
+					return ir.Seq(stmts...)
+				}
+			}
+			outStmts := make([]ir.Stmt, len(x.Stmts))
+			for i, c := range x.Stmts {
+				outStmts[i] = visit(c)
+			}
+			return ir.Seq(outStmts...)
+		case *ir.For:
+			return &ir.For{Var: x.Var, Extent: x.Extent, Body: visit(x.Body), Unroll: x.Unroll}
+		case *ir.IfThen:
+			return &ir.IfThen{Cond: x.Cond, Then: visit(x.Then), Else: visit(x.Else)}
+		default:
+			return s
+		}
+	}
+	out = visit(body)
+	if !applied {
+		return nil, fmt.Errorf("fuse: adjacent loops %s,%s with equal constant extents not found", v1.Name, v2.Name)
+	}
+	return out, nil
+}
+
+// HoistInvariant performs loop-invariant code motion (§4.4): statements in
+// the body block of the loop binding v that do not reference v are moved in
+// front of the loop. Only a leading run of invariant statements is moved, so
+// ordering with later variant statements is preserved. The thesis applies
+// this to the softmax schedule (Listing 5.7 → 5.8), where the hoisted
+// statements are idempotent reductions into [0]-indexed scratchpads.
+func HoistInvariant(body ir.Stmt, v *ir.Var) (ir.Stmt, error) {
+	loop := findLoop(body, v)
+	if loop == nil {
+		return nil, fmt.Errorf("licm: loop %s not found", v.Name)
+	}
+	inner, ok := loop.Body.(*ir.Block)
+	if !ok {
+		return nil, fmt.Errorf("licm: loop %s body is not a block", v.Name)
+	}
+	var hoisted []ir.Stmt
+	rest := inner.Stmts
+	for len(rest) > 0 && !stmtUsesVar(rest[0], v) {
+		hoisted = append(hoisted, rest[0])
+		rest = rest[1:]
+	}
+	if len(hoisted) == 0 {
+		return nil, fmt.Errorf("licm: no leading invariant statements in loop %s", v.Name)
+	}
+	if len(rest) == 0 {
+		return nil, fmt.Errorf("licm: entire loop %s body is invariant; delete the loop instead", v.Name)
+	}
+	out, _ := rewrite(body, v, func(f *ir.For) ir.Stmt {
+		return ir.Seq(append(append([]ir.Stmt{}, hoisted...),
+			&ir.For{Var: f.Var, Extent: f.Extent, Body: ir.Seq(rest...), Unroll: f.Unroll})...)
+	})
+	return out, nil
+}
+
+func stmtUsesVar(s ir.Stmt, v *ir.Var) bool {
+	used := false
+	ir.WalkExprs(s, func(e ir.Expr) {
+		if e == ir.Expr(v) {
+			used = true
+		}
+	})
+	// A nested loop shadowing v re-binds it; treat shadowed uses as not-uses.
+	shadowed := false
+	ir.WalkStmt(s, func(n ir.Stmt) {
+		if f, ok := n.(*ir.For); ok && f.Var == v {
+			shadowed = true
+		}
+	})
+	return used && !shadowed
+}
+
+// CacheWrite demotes buffer buf (a global scratchpad in the naive TVM
+// schedule) to the given scope (§4.5). All loads/stores keep their shape;
+// an Alloc is prepended. The buffer must not be a kernel argument that the
+// host reads back — the caller removes it from Args.
+func CacheWrite(k *ir.Kernel, buf *ir.Buffer, scope ir.Scope) (*ir.Kernel, error) {
+	if scope == ir.Global {
+		return nil, fmt.Errorf("cachewrite: target scope must be on-chip")
+	}
+	found := false
+	for _, a := range k.Args {
+		if a == buf {
+			found = true
+		}
+	}
+	ir.WalkStmt(k.Body, func(s ir.Stmt) {
+		if st, ok := s.(*ir.Store); ok && st.Buf == buf {
+			found = true
+		}
+	})
+	if !found {
+		return nil, fmt.Errorf("cachewrite: buffer %s not used by kernel %s", buf.Name, k.Name)
+	}
+	// Rebind: same Buffer pointer updated in place would alias other kernels;
+	// create a replacement buffer and rewrite references.
+	repl := &ir.Buffer{Name: buf.Name + "_c", Shape: buf.Shape, Scope: scope, Elem: buf.Elem}
+	newBody := replaceBuffer(k.Body, buf, repl)
+	args := make([]*ir.Buffer, 0, len(k.Args))
+	for _, a := range k.Args {
+		if a != buf {
+			args = append(args, a)
+		}
+	}
+	return &ir.Kernel{
+		Name: k.Name, Args: args, ScalarArgs: k.ScalarArgs, Autorun: k.Autorun,
+		Body: ir.Seq(&ir.Alloc{Buf: repl}, newBody),
+	}, nil
+}
+
+func replaceBuffer(s ir.Stmt, old, repl *ir.Buffer) ir.Stmt {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *ir.Block:
+		out := make([]ir.Stmt, len(x.Stmts))
+		for i, c := range x.Stmts {
+			out[i] = replaceBuffer(c, old, repl)
+		}
+		return &ir.Block{Stmts: out}
+	case *ir.Alloc:
+		return x
+	case *ir.For:
+		return &ir.For{Var: x.Var, Extent: x.Extent, Body: replaceBuffer(x.Body, old, repl), Unroll: x.Unroll}
+	case *ir.Store:
+		idx := make([]ir.Expr, len(x.Index))
+		for i, e := range x.Index {
+			idx[i] = replaceBufferExpr(e, old, repl)
+		}
+		buf := x.Buf
+		if buf == old {
+			buf = repl
+		}
+		return &ir.Store{Buf: buf, Index: idx, Value: replaceBufferExpr(x.Value, old, repl)}
+	case *ir.ChannelWrite:
+		return &ir.ChannelWrite{Ch: x.Ch, Value: replaceBufferExpr(x.Value, old, repl)}
+	case *ir.IfThen:
+		return &ir.IfThen{Cond: replaceBufferExpr(x.Cond, old, repl),
+			Then: replaceBuffer(x.Then, old, repl), Else: replaceBuffer(x.Else, old, repl)}
+	}
+	panic(fmt.Sprintf("schedule: unknown stmt %T", s))
+}
+
+func replaceBufferExpr(e ir.Expr, old, repl *ir.Buffer) ir.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ir.IntImm, *ir.FloatImm, *ir.Var, *ir.ChannelRead:
+		return x
+	case *ir.Binary:
+		return &ir.Binary{Op: x.Op, A: replaceBufferExpr(x.A, old, repl), B: replaceBufferExpr(x.B, old, repl)}
+	case *ir.Call:
+		args := make([]ir.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = replaceBufferExpr(a, old, repl)
+		}
+		return &ir.Call{Fn: x.Fn, Args: args}
+	case *ir.Load:
+		idx := make([]ir.Expr, len(x.Index))
+		for i, a := range x.Index {
+			idx[i] = replaceBufferExpr(a, old, repl)
+		}
+		buf := x.Buf
+		if buf == old {
+			buf = repl
+		}
+		return &ir.Load{Buf: buf, Index: idx}
+	case *ir.Select:
+		return &ir.Select{Cond: replaceBufferExpr(x.Cond, old, repl),
+			A: replaceBufferExpr(x.A, old, repl), B: replaceBufferExpr(x.B, old, repl)}
+	}
+	panic(fmt.Sprintf("schedule: unknown expr %T", e))
+}

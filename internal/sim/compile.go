@@ -1,0 +1,287 @@
+package sim
+
+// Closure compilation: kernels are lowered once per Run into a tree of Go
+// closures over a flat integer environment, replacing per-node map lookups
+// and type switches with direct calls. Semantics (bounds checks, channel
+// underflow, shadowing) are identical to the tree-walking interpreter in
+// interp.go, which tests keep as a cross-checking oracle via RunInterp.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// cenv is the compiled execution environment: loop variables and scalar
+// parameters live in slots.
+type cenv struct {
+	ints []int64
+	m    *Machine
+}
+
+// compiledKernel is a cached closure program for one kernel on one machine.
+type compiledKernel struct {
+	run    stmtFn
+	slots  map[*ir.Var]int
+	nSlots int
+}
+
+type intFn func(*cenv) int64
+type floatFn func(*cenv) float32
+type stmtFn func(*cenv)
+
+// compiler assigns variable slots and resolves buffers.
+type compiler struct {
+	m      *Machine
+	slots  map[*ir.Var]int
+	nSlots int
+	kernel *ir.Kernel
+}
+
+func (c *compiler) slot(v *ir.Var) int {
+	s, ok := c.slots[v]
+	if !ok {
+		s = c.nSlots
+		c.slots[v] = s
+		c.nSlots++
+	}
+	return s
+}
+
+// bufferRef resolves data lazily: Alloc statements bind buffers during
+// execution, so the closure must read the machine map at first touch.
+func (c *compiler) bufferRef(b *ir.Buffer) func(*cenv) []float32 {
+	return func(e *cenv) []float32 {
+		data := e.m.bufs[b]
+		if data == nil {
+			panic(fmt.Sprintf("load from unbound buffer %s", b.Name))
+		}
+		return data
+	}
+}
+
+// offsetFn compiles a multi-dimensional index into a flat-offset closure
+// with bounds checks identical to the interpreter's.
+func (c *compiler) offsetFn(b *ir.Buffer, idx []ir.Expr) intFn {
+	dimFns := make([]intFn, len(idx))
+	idxFns := make([]intFn, len(idx))
+	for i := range idx {
+		dimFns[i] = c.intFn(b.Shape[i])
+		idxFns[i] = c.intFn(idx[i])
+	}
+	name := b.Name
+	return func(e *cenv) int64 {
+		off := int64(0)
+		for i := range idxFns {
+			dim := dimFns[i](e)
+			x := idxFns[i](e)
+			if x < 0 || x >= dim {
+				panic(fmt.Sprintf("index %d out of bounds [0,%d) in dim %d of %s", x, dim, i, name))
+			}
+			off = off*dim + x
+		}
+		return off
+	}
+}
+
+func (c *compiler) intFn(x ir.Expr) intFn {
+	switch v := x.(type) {
+	case *ir.IntImm:
+		val := v.Value
+		return func(*cenv) int64 { return val }
+	case *ir.Var:
+		s := c.slot(v)
+		return func(e *cenv) int64 { return e.ints[s] }
+	case *ir.Binary:
+		a, b := c.intFn(v.A), c.intFn(v.B)
+		switch v.Op {
+		case ir.Add:
+			return func(e *cenv) int64 { return a(e) + b(e) }
+		case ir.Sub:
+			return func(e *cenv) int64 { return a(e) - b(e) }
+		case ir.Mul:
+			return func(e *cenv) int64 { return a(e) * b(e) }
+		case ir.Div:
+			return func(e *cenv) int64 { return a(e) / b(e) }
+		case ir.Mod:
+			return func(e *cenv) int64 { return a(e) % b(e) }
+		case ir.MaxOp:
+			return func(e *cenv) int64 { return maxI(a(e), b(e)) }
+		case ir.MinOp:
+			return func(e *cenv) int64 { return minI(a(e), b(e)) }
+		case ir.LT:
+			return func(e *cenv) int64 { return b2i(a(e) < b(e)) }
+		case ir.GE:
+			return func(e *cenv) int64 { return b2i(a(e) >= b(e)) }
+		case ir.EQ:
+			return func(e *cenv) int64 { return b2i(a(e) == b(e)) }
+		case ir.And:
+			return func(e *cenv) int64 { return b2i(a(e) != 0 && b(e) != 0) }
+		}
+	case *ir.Select:
+		cond, a, b := c.intFn(v.Cond), c.intFn(v.A), c.intFn(v.B)
+		return func(e *cenv) int64 {
+			if cond(e) != 0 {
+				return a(e)
+			}
+			return b(e)
+		}
+	}
+	panic(fmt.Sprintf("not an int expr: %T %v", x, x))
+}
+
+func (c *compiler) floatFn(x ir.Expr) floatFn {
+	switch v := x.(type) {
+	case *ir.FloatImm:
+		val := float32(v.Value)
+		return func(*cenv) float32 { return val }
+	case *ir.IntImm:
+		val := float32(v.Value)
+		return func(*cenv) float32 { return val }
+	case *ir.Load:
+		ref := c.bufferRef(v.Buf)
+		off := c.offsetFn(v.Buf, v.Index)
+		return func(e *cenv) float32 { return ref(e)[off(e)] }
+	case *ir.ChannelRead:
+		fifo := c.m.Channel(v.Ch)
+		name := v.Ch.Name
+		return func(*cenv) float32 {
+			val, ok := fifo.Pop()
+			if !ok {
+				panic(fmt.Sprintf("read from empty channel %s (deadlock on hardware)", name))
+			}
+			return val
+		}
+	case *ir.Binary:
+		a, b := c.floatFn(v.A), c.floatFn(v.B)
+		switch v.Op {
+		case ir.Add:
+			return func(e *cenv) float32 { return a(e) + b(e) }
+		case ir.Sub:
+			return func(e *cenv) float32 { return a(e) - b(e) }
+		case ir.Mul:
+			return func(e *cenv) float32 { return a(e) * b(e) }
+		case ir.Div:
+			return func(e *cenv) float32 { return a(e) / b(e) }
+		case ir.MaxOp:
+			return func(e *cenv) float32 { return maxF(a(e), b(e)) }
+		case ir.MinOp:
+			return func(e *cenv) float32 { return minF(a(e), b(e)) }
+		}
+		panic(fmt.Sprintf("op %s not valid on floats", v.Op))
+	case *ir.Call:
+		args := make([]floatFn, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = c.floatFn(a)
+		}
+		switch v.Fn {
+		case "exp":
+			return func(e *cenv) float32 { return expF(args[0](e)) }
+		case "sqrt":
+			return func(e *cenv) float32 { return sqrtF(args[0](e)) }
+		case "max":
+			return func(e *cenv) float32 { return maxF(args[0](e), args[1](e)) }
+		case "min":
+			return func(e *cenv) float32 { return minF(args[0](e), args[1](e)) }
+		}
+		panic(fmt.Sprintf("unknown intrinsic %q", v.Fn))
+	case *ir.Select:
+		cond := c.intFn(v.Cond)
+		a, b := c.floatFn(v.A), c.floatFn(v.B)
+		return func(e *cenv) float32 {
+			if cond(e) != 0 {
+				return a(e)
+			}
+			return b(e)
+		}
+	}
+	panic(fmt.Sprintf("not a float expr: %T %v", x, x))
+}
+
+func (c *compiler) stmtFn(s ir.Stmt) stmtFn {
+	switch x := s.(type) {
+	case nil:
+		return func(*cenv) {}
+	case *ir.Block:
+		fns := make([]stmtFn, len(x.Stmts))
+		for i, st := range x.Stmts {
+			fns[i] = c.stmtFn(st)
+		}
+		return func(e *cenv) {
+			for _, f := range fns {
+				f(e)
+			}
+		}
+	case *ir.Alloc:
+		buf := x.Buf
+		dimFns := make([]intFn, len(buf.Shape))
+		for i, d := range buf.Shape {
+			dimFns[i] = c.intFn(d)
+		}
+		return func(e *cenv) {
+			n := int64(1)
+			for _, d := range dimFns {
+				n *= d(e)
+			}
+			e.m.bufs[buf] = make([]float32, n)
+		}
+	case *ir.For:
+		extent := c.intFn(x.Extent)
+		slot := c.slot(x.Var)
+		body := c.stmtFn(x.Body)
+		return func(e *cenv) {
+			n := extent(e)
+			for i := int64(0); i < n; i++ {
+				e.ints[slot] = i
+				body(e)
+			}
+		}
+	case *ir.Store:
+		ref := c.bufferRef(x.Buf)
+		off := c.offsetFn(x.Buf, x.Index)
+		val := c.floatFn(x.Value)
+		return func(e *cenv) { ref(e)[off(e)] = val(e) }
+	case *ir.ChannelWrite:
+		fifo := c.m.Channel(x.Ch)
+		val := c.floatFn(x.Value)
+		return func(e *cenv) { fifo.Push(val(e)) }
+	case *ir.IfThen:
+		cond := c.intFn(x.Cond)
+		then := c.stmtFn(x.Then)
+		var els stmtFn
+		if x.Else != nil {
+			els = c.stmtFn(x.Else)
+		}
+		return func(e *cenv) {
+			if cond(e) != 0 {
+				then(e)
+			} else if els != nil {
+				els(e)
+			}
+		}
+	}
+	panic(fmt.Sprintf("unknown stmt %T", s))
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Float helpers match the interpreter exactly (math.Max/Min semantics,
+// including NaN propagation), so compiled and interpreted runs are
+// bit-identical.
+func maxF(a, b float32) float32 { return float32(math.Max(float64(a), float64(b))) }
+func minF(a, b float32) float32 { return float32(math.Min(float64(a), float64(b))) }
+func expF(x float32) float32    { return float32(math.Exp(float64(x))) }
+func sqrtF(x float32) float32   { return float32(math.Sqrt(float64(x))) }

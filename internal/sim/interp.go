@@ -1,0 +1,362 @@
+// Package sim executes IR kernels. It has two halves:
+//
+//   - interp.go: a functional interpreter. Kernels are compiled to closures
+//     and run against real float32 buffers, so the numeric output of any
+//     schedule (naive or optimized, pipelined or folded) can be checked
+//     against the native Go references in internal/cpuref. This is the
+//     reproduction's stand-in for "run the bitstream and verify the output".
+//
+//   - timing lives in internal/aoc (static cycle model) and internal/clrt
+//     (event-level host simulation); sim deliberately knows nothing about
+//     time, only values.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Fifo is a channel's runtime state: an unbounded float queue. Functional
+// interpretation runs producers before consumers, so depth limits (which only
+// affect timing) are not enforced here; they are modeled in clrt.
+type Fifo struct {
+	data []float32
+	head int
+	// Peak tracks the maximum occupancy seen, used by tests to validate the
+	// channel-depth sizing rule from §4.11.
+	Peak int
+}
+
+// Push appends a value.
+func (f *Fifo) Push(v float32) {
+	f.data = append(f.data, v)
+	if n := f.Len(); n > f.Peak {
+		f.Peak = n
+	}
+}
+
+// Pop removes and returns the oldest value.
+func (f *Fifo) Pop() (float32, bool) {
+	if f.head >= len(f.data) {
+		return 0, false
+	}
+	v := f.data[f.head]
+	f.head++
+	if f.head == len(f.data) {
+		f.data = f.data[:0]
+		f.head = 0
+	}
+	return v, true
+}
+
+// Len returns current occupancy.
+func (f *Fifo) Len() int { return len(f.data) - f.head }
+
+// Machine holds buffer and channel bindings for kernel execution.
+type Machine struct {
+	bufs  map[*ir.Buffer][]float32
+	chans map[*ir.Channel]*Fifo
+	// compiled caches closure-compiled kernels: folded deployments invoke
+	// the same kernel dozens of times per image.
+	compiled map[*ir.Kernel]*compiledKernel
+}
+
+// NewMachine returns an empty machine.
+func NewMachine() *Machine {
+	return &Machine{
+		bufs:     map[*ir.Buffer][]float32{},
+		chans:    map[*ir.Channel]*Fifo{},
+		compiled: map[*ir.Kernel]*compiledKernel{},
+	}
+}
+
+// Bind attaches data to a buffer (typically a kernel argument).
+func (m *Machine) Bind(b *ir.Buffer, data []float32) { m.bufs[b] = data }
+
+// Buffer returns the data bound to b, or nil.
+func (m *Machine) Buffer(b *ir.Buffer) []float32 { return m.bufs[b] }
+
+// Channel returns (allocating if needed) the FIFO for ch.
+func (m *Machine) Channel(ch *ir.Channel) *Fifo {
+	f, ok := m.chans[ch]
+	if !ok {
+		f = &Fifo{}
+		m.chans[ch] = f
+	}
+	return f
+}
+
+// Run executes kernel k with the given scalar-argument bindings. Global
+// argument buffers must be bound beforehand; local/private allocations are
+// created automatically. Returns an error on any fault a real OpenCL run
+// would surface (out-of-bounds access, read from empty channel, unbound
+// argument). Execution goes through the closure compiler (compile.go);
+// RunInterp runs the same semantics on the tree-walking interpreter and is
+// kept as a cross-checking oracle.
+func (m *Machine) Run(k *ir.Kernel, scalars map[*ir.Var]int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("kernel %s: %v", k.Name, r)
+		}
+	}()
+	if err := m.precheck(k, scalars); err != nil {
+		return err
+	}
+	ck, ok := m.compiled[k]
+	if !ok {
+		c := &compiler{m: m, slots: map[*ir.Var]int{}, kernel: k}
+		// Reserve scalar-argument slots before compiling the body.
+		for _, v := range k.ScalarArgs {
+			c.slot(v)
+		}
+		run := c.stmtFn(k.Body)
+		ck = &compiledKernel{run: run, slots: c.slots, nSlots: c.nSlots}
+		m.compiled[k] = ck
+	}
+	e := &cenv{ints: make([]int64, ck.nSlots), m: m}
+	for _, v := range k.ScalarArgs {
+		e.ints[ck.slots[v]] = scalars[v]
+	}
+	ck.run(e)
+	return nil
+}
+
+// RunInterp executes k on the tree-walking interpreter (identical semantics
+// to Run; used by tests to cross-check the compiler).
+func (m *Machine) RunInterp(k *ir.Kernel, scalars map[*ir.Var]int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("kernel %s: %v", k.Name, r)
+		}
+	}()
+	if err := m.precheck(k, scalars); err != nil {
+		return err
+	}
+	env := &env{m: m, vars: map[*ir.Var]int64{}}
+	for _, v := range k.ScalarArgs {
+		env.vars[v] = scalars[v]
+	}
+	env.exec(k.Body)
+	return nil
+}
+
+// precheck validates bindings and buffer sizes before execution.
+func (m *Machine) precheck(k *ir.Kernel, scalars map[*ir.Var]int64) error {
+	for _, b := range k.Args {
+		if m.bufs[b] == nil {
+			return fmt.Errorf("kernel %s: argument buffer %s not bound", k.Name, b.Name)
+		}
+	}
+	env := &env{m: m, vars: map[*ir.Var]int64{}}
+	for _, v := range k.ScalarArgs {
+		val, ok := scalars[v]
+		if !ok {
+			return fmt.Errorf("kernel %s: scalar argument %s not bound", k.Name, v.Name)
+		}
+		env.vars[v] = val
+	}
+	// Verify argument buffer sizes against (possibly symbolic) shapes.
+	for _, b := range k.Args {
+		want := env.bufLen(b)
+		if int64(len(m.bufs[b])) < want {
+			return fmt.Errorf("kernel %s: buffer %s bound with %d elems, shape needs %d", k.Name, b.Name, len(m.bufs[b]), want)
+		}
+	}
+	return nil
+}
+
+// RunGraph interprets a set of kernels in the given order, which must be a
+// topological order of the channel dataflow (producers first). This mirrors
+// the functional outcome of concurrent pipelined execution.
+func (m *Machine) RunGraph(ks []*ir.Kernel, scalars map[*ir.Var]int64) error {
+	for _, k := range ks {
+		if err := m.Run(k, scalars); err != nil {
+			return err
+		}
+	}
+	// A finished pipelined pass must drain every channel; leftovers mean a
+	// producer/consumer count mismatch (a hang on hardware).
+	for ch, f := range m.chans {
+		if f.Len() != 0 {
+			return fmt.Errorf("channel %s holds %d undrained values after graph execution", ch.Name, f.Len())
+		}
+	}
+	return nil
+}
+
+type env struct {
+	m    *Machine
+	vars map[*ir.Var]int64
+}
+
+func (e *env) bufLen(b *ir.Buffer) int64 {
+	n := int64(1)
+	for _, d := range b.Shape {
+		n *= e.evalI(d)
+	}
+	return n
+}
+
+func (e *env) offset(b *ir.Buffer, idx []ir.Expr) int64 {
+	off := int64(0)
+	for i, ix := range idx {
+		dim := e.evalI(b.Shape[i])
+		x := e.evalI(ix)
+		if x < 0 || x >= dim {
+			panic(fmt.Sprintf("index %d out of bounds [0,%d) in dim %d of %s", x, dim, i, b.Name))
+		}
+		off = off*dim + x
+	}
+	return off
+}
+
+func (e *env) exec(s ir.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *ir.Block:
+		for _, c := range x.Stmts {
+			e.exec(c)
+		}
+	case *ir.Alloc:
+		e.m.bufs[x.Buf] = make([]float32, e.bufLen(x.Buf))
+	case *ir.For:
+		n := e.evalI(x.Extent)
+		for i := int64(0); i < n; i++ {
+			e.vars[x.Var] = i
+			e.exec(x.Body)
+		}
+		delete(e.vars, x.Var)
+	case *ir.Store:
+		data := e.m.bufs[x.Buf]
+		if data == nil {
+			panic(fmt.Sprintf("store to unbound buffer %s", x.Buf.Name))
+		}
+		data[e.offset(x.Buf, x.Index)] = e.evalF(x.Value)
+	case *ir.ChannelWrite:
+		e.m.Channel(x.Ch).Push(e.evalF(x.Value))
+	case *ir.IfThen:
+		if e.evalI(x.Cond) != 0 {
+			e.exec(x.Then)
+		} else if x.Else != nil {
+			e.exec(x.Else)
+		}
+	default:
+		panic(fmt.Sprintf("unknown stmt %T", s))
+	}
+}
+
+func (e *env) evalI(x ir.Expr) int64 {
+	switch v := x.(type) {
+	case *ir.IntImm:
+		return v.Value
+	case *ir.Var:
+		val, ok := e.vars[v]
+		if !ok {
+			panic(fmt.Sprintf("unbound variable %s", v.Name))
+		}
+		return val
+	case *ir.Binary:
+		a, b := e.evalI(v.A), e.evalI(v.B)
+		switch v.Op {
+		case ir.Add:
+			return a + b
+		case ir.Sub:
+			return a - b
+		case ir.Mul:
+			return a * b
+		case ir.Div:
+			return a / b
+		case ir.Mod:
+			return a % b
+		case ir.MaxOp:
+			if a > b {
+				return a
+			}
+			return b
+		case ir.MinOp:
+			if a < b {
+				return a
+			}
+			return b
+		case ir.LT:
+			return b2i(a < b)
+		case ir.GE:
+			return b2i(a >= b)
+		case ir.EQ:
+			return b2i(a == b)
+		case ir.And:
+			return b2i(a != 0 && b != 0)
+		}
+	case *ir.Select:
+		if e.evalI(v.Cond) != 0 {
+			return e.evalI(v.A)
+		}
+		return e.evalI(v.B)
+	}
+	panic(fmt.Sprintf("not an int expr: %T %v", x, x))
+}
+
+func (e *env) evalF(x ir.Expr) float32 {
+	switch v := x.(type) {
+	case *ir.FloatImm:
+		return float32(v.Value)
+	case *ir.IntImm:
+		return float32(v.Value)
+	case *ir.Load:
+		data := e.m.bufs[v.Buf]
+		if data == nil {
+			panic(fmt.Sprintf("load from unbound buffer %s", v.Buf.Name))
+		}
+		return data[e.offset(v.Buf, v.Index)]
+	case *ir.ChannelRead:
+		val, ok := e.m.Channel(v.Ch).Pop()
+		if !ok {
+			panic(fmt.Sprintf("read from empty channel %s (deadlock on hardware)", v.Ch.Name))
+		}
+		return val
+	case *ir.Binary:
+		a, b := e.evalF(v.A), e.evalF(v.B)
+		switch v.Op {
+		case ir.Add:
+			return a + b
+		case ir.Sub:
+			return a - b
+		case ir.Mul:
+			return a * b
+		case ir.Div:
+			return a / b
+		case ir.MaxOp:
+			return float32(math.Max(float64(a), float64(b)))
+		case ir.MinOp:
+			return float32(math.Min(float64(a), float64(b)))
+		}
+		panic(fmt.Sprintf("op %s not valid on floats", v.Op))
+	case *ir.Call:
+		switch v.Fn {
+		case "exp":
+			return float32(math.Exp(float64(e.evalF(v.Args[0]))))
+		case "sqrt":
+			return float32(math.Sqrt(float64(e.evalF(v.Args[0]))))
+		case "max":
+			return float32(math.Max(float64(e.evalF(v.Args[0])), float64(e.evalF(v.Args[1]))))
+		case "min":
+			return float32(math.Min(float64(e.evalF(v.Args[0])), float64(e.evalF(v.Args[1]))))
+		}
+		panic(fmt.Sprintf("unknown intrinsic %q", v.Fn))
+	case *ir.Select:
+		if e.evalI(v.Cond) != 0 {
+			return e.evalF(v.A)
+		}
+		return e.evalF(v.B)
+	}
+	panic(fmt.Sprintf("not a float expr: %T %v", x, x))
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

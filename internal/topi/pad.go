@@ -1,0 +1,73 @@
+package topi
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// PadSpec describes the zero-padding layer TVM generates in front of
+// padded convolutions.
+type PadSpec struct {
+	Name string
+	C    int
+	H, W int // unpadded input dims
+	P    int // pad width on every spatial side
+}
+
+// Pad2D generates the padding kernel. The generated form follows what the
+// thesis observes TVM emitting (§6.3.2): a single flattened loop using
+// integer division/modulo to recover coordinates and a conditional select
+// between the input value and zero — "efficient in other platforms, but does
+// not generate efficient hardware".
+func Pad2D(spec PadSpec, io ConvIO) (*Op, error) {
+	if spec.P < 1 {
+		return nil, fmt.Errorf("topi: pad %s needs positive pad width", spec.Name)
+	}
+	hp, wp := spec.H+2*spec.P, spec.W+2*spec.P
+	op := &Op{OutShape: []int{spec.C, hp, wp}, InCh: io.InCh, OutCh: io.OutCh}
+	args := []*ir.Buffer{}
+	var in *ir.Buffer
+	var prologue ir.Stmt
+	if io.InCh != nil {
+		in = ir.NewBuffer(spec.Name+"_inl", ir.Local, spec.C, spec.H, spec.W)
+		prologue = ir.Seq(&ir.Alloc{Buf: in}, chanReadInto(io.InCh, in, []int{spec.C, spec.H, spec.W}))
+	} else {
+		in = ir.NewBuffer(spec.Name+"_in", ir.Global, spec.C, spec.H, spec.W)
+		op.In = in
+		args = append(args, in)
+	}
+	var out *ir.Buffer
+	if io.OutCh == nil {
+		out = ir.NewBuffer(spec.Name+"_out", ir.Global, spec.C, hp, wp)
+		op.Out = out
+		args = append(args, out)
+	}
+
+	i := ir.V("i")
+	cs := func(v int) ir.Expr { return ir.CInt(int64(v)) }
+	plane := hp * wp
+	c := ir.DivE(i, cs(plane))
+	rem := ir.ModE(i, cs(plane))
+	y := ir.DivE(rem, cs(wp))
+	x := ir.ModE(rem, cs(wp))
+	inBounds := &ir.Binary{Op: ir.And,
+		A: &ir.Binary{Op: ir.And,
+			A: &ir.Binary{Op: ir.GE, A: y, B: cs(spec.P)},
+			B: &ir.Binary{Op: ir.LT, A: y, B: cs(spec.P + spec.H)}},
+		B: &ir.Binary{Op: ir.And,
+			A: &ir.Binary{Op: ir.GE, A: x, B: cs(spec.P)},
+			B: &ir.Binary{Op: ir.LT, A: x, B: cs(spec.P + spec.W)}}}
+	val := &ir.Select{Cond: inBounds,
+		A: &ir.Load{Buf: in, Index: []ir.Expr{c, ir.SubE(y, cs(spec.P)), ir.SubE(x, cs(spec.P))}},
+		B: ir.CFloat(0)}
+	var write ir.Stmt
+	if io.OutCh != nil {
+		write = &ir.ChannelWrite{Ch: io.OutCh, Value: val}
+	} else {
+		write = &ir.Store{Buf: out, Index: []ir.Expr{c, y, x}, Value: val}
+	}
+	op.Kernel = &ir.Kernel{Name: spec.Name, Args: args,
+		Body: ir.Seq(prologue, ir.Loop(i, spec.C*plane, write))}
+	return op, op.Kernel.Validate()
+}

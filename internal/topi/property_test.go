@@ -1,0 +1,203 @@
+package topi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpuref"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// Randomized schedule-equivalence properties: for arbitrary (small) layer
+// shapes and legal tiling factors, the optimized kernels must agree with the
+// native references. These are the repository's broadest correctness net —
+// any legality bug in a schedule transformation shows up here as a numeric
+// divergence.
+
+// pick returns values[x % len(values)].
+func pick(x uint8, values []int) int { return values[int(x)%len(values)] }
+
+func TestQuickConvOptimizedEquivalence(t *testing.T) {
+	f := func(seed uint64, c1s, c2s, ws, fs, tw, tc2, tc1 uint8) bool {
+		c1 := pick(c1s, []int{1, 2, 4, 8})
+		c2 := pick(c2s, []int{1, 2, 4, 8})
+		ff := pick(fs, []int{1, 3})
+		w := pick(ws, []int{8, 12, 16}) + ff - 1 // output dims 8/12/16
+		h := w
+		h2 := h - ff + 1
+		// Legal tiling factors: divisors of the relevant extents.
+		w2vecs := []int{1, 2, 4}
+		var w2v int
+		for _, cand := range []int{pick(tw, w2vecs), 1} {
+			if h2%cand == 0 {
+				w2v = cand
+				break
+			}
+		}
+		c2v := 1
+		if c2%pick(tc2, []int{1, 2}) == 0 {
+			c2v = pick(tc2, []int{1, 2})
+		}
+		c1v := 1
+		if c1%pick(tc1, []int{1, 2, 4}) == 0 {
+			c1v = pick(tc1, []int{1, 2, 4})
+		}
+
+		spec := ConvSpec{Name: "q", C1: c1, H: h, W: w, C2: c2, F: ff, S: 1, Relu: seed%2 == 0, Bias: seed%3 == 0}
+		op, err := Conv2D(spec, OptSched(w2v, c2v, c1v), ConvIO{})
+		if err != nil {
+			return false
+		}
+		in := tensor.New(c1, h, w)
+		in.FillSeq(seed)
+		wt := tensor.New(c2, c1, ff, ff)
+		wt.FillSeq(seed + 1)
+		var bias *tensor.Tensor
+		if spec.Bias {
+			bias = tensor.New(c2)
+			bias.FillSeq(seed + 2)
+		}
+		m := sim.NewMachine()
+		m.Bind(op.In, in.Data)
+		m.Bind(op.Weights, wt.Data)
+		if op.Bias != nil {
+			m.Bind(op.Bias, bias.Data)
+		}
+		out := tensor.New(op.OutShape...)
+		m.Bind(op.Out, out.Data)
+		if err := m.Run(op.Kernel, nil); err != nil {
+			return false
+		}
+		want := cpuref.Conv2D(in, wt, bias, 1, 0, spec.Relu)
+		return tensor.AllClose(out, want, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParamConvEquivalence(t *testing.T) {
+	pc, err := ConvParam("q", 3, 1, OptSched(1, 1, 1), true, true, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, c1s, c2s, ws uint8) bool {
+		c1 := pick(c1s, []int{1, 2, 3, 5})
+		c2 := pick(c2s, []int{1, 2, 4})
+		w := pick(ws, []int{6, 9, 12})
+		bind, err := pc.Bind(c1, w, w, c2)
+		if err != nil {
+			return false
+		}
+		in := tensor.New(c1, w, w)
+		in.FillSeq(seed)
+		wt := tensor.New(c2, c1, 3, 3)
+		wt.FillSeq(seed + 1)
+		bias := tensor.New(c2)
+		bias.FillSeq(seed + 2)
+		m := sim.NewMachine()
+		m.Bind(pc.Op.In, in.Data)
+		m.Bind(pc.Op.Weights, wt.Data)
+		m.Bind(pc.Op.Bias, bias.Data)
+		out := tensor.New(c2, w-2, w-2)
+		m.Bind(pc.Op.Out, out.Data)
+		if err := m.Run(pc.Op.Kernel, bind); err != nil {
+			return false
+		}
+		want := cpuref.Conv2D(in, wt, bias, 1, 0, true)
+		return tensor.AllClose(out, want, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDenseEquivalence(t *testing.T) {
+	f := func(seed uint64, ns, ms, ks uint8) bool {
+		n := pick(ns, []int{8, 16, 24, 40})
+		mm := pick(ms, []int{1, 5, 10})
+		kvec := pick(ks, []int{1, 2, 4, 8})
+		if n%kvec != 0 {
+			kvec = 1
+		}
+		op, err := Dense(DenseSpec{Name: "q", N: n, M: mm, Relu: seed%2 == 1, Bias: true}, false, kvec, ConvIO{})
+		if err != nil {
+			return false
+		}
+		in := tensor.New(n)
+		in.FillSeq(seed)
+		wt := tensor.New(mm, n)
+		wt.FillSeq(seed + 1)
+		bias := tensor.New(mm)
+		bias.FillSeq(seed + 2)
+		m := sim.NewMachine()
+		m.Bind(op.In, in.Data)
+		m.Bind(op.Weights, wt.Data)
+		m.Bind(op.Bias, bias.Data)
+		out := tensor.New(mm)
+		m.Bind(op.Out, out.Data)
+		if err := m.Run(op.Kernel, nil); err != nil {
+			return false
+		}
+		want := cpuref.Dense(in, wt, bias, seed%2 == 1)
+		return tensor.AllClose(out, want, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPoolEquivalence(t *testing.T) {
+	f := func(seed uint64, cs, hs, fs uint8, avg bool) bool {
+		c := pick(cs, []int{1, 3, 5})
+		ff := pick(fs, []int{2, 3})
+		h := pick(hs, []int{6, 8, 9}) + ff
+		op, err := Pool2D(PoolSpec{Name: "q", C: c, H: h, W: h, F: ff, S: ff, Avg: avg}, false, ConvIO{}, false)
+		if err != nil {
+			return false
+		}
+		in := tensor.New(c, h, h)
+		in.FillSeq(seed)
+		m := sim.NewMachine()
+		m.Bind(op.In, in.Data)
+		out := tensor.New(op.OutShape...)
+		m.Bind(op.Out, out.Data)
+		if err := m.Run(op.Kernel, nil); err != nil {
+			return false
+		}
+		var want *tensor.Tensor
+		if avg {
+			want = cpuref.AvgPool2D(in, ff, ff)
+		} else {
+			want = cpuref.MaxPool2D(in, ff, ff)
+		}
+		return tensor.AllClose(out, want, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSoftmaxEquivalence(t *testing.T) {
+	f := func(seed uint64, ns uint8) bool {
+		n := pick(ns, []int{2, 10, 33, 100})
+		op, err := Softmax("q", n, false, ConvIO{})
+		if err != nil {
+			return false
+		}
+		in := tensor.New(n)
+		in.FillSeq(seed)
+		m := sim.NewMachine()
+		m.Bind(op.In, in.Data)
+		out := tensor.New(n)
+		m.Bind(op.Out, out.Data)
+		if err := m.Run(op.Kernel, nil); err != nil {
+			return false
+		}
+		return tensor.AllClose(out, cpuref.Softmax(in), 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

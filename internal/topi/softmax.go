@@ -1,0 +1,92 @@
+package topi
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/schedule"
+)
+
+// Softmax generates the softmax layer over n classes. The naive form is
+// Listing 5.7: the maximum and the exponential sum are recomputed inside the
+// per-class loop despite being loop-invariant. The optimized form is derived
+// from it by applying the loop-invariant code-motion primitive (§4.4,
+// Listing 5.8) plus cached writes for the scratchpads.
+func Softmax(name string, n int, naive bool, io ConvIO) (*Op, error) {
+	op := &Op{OutShape: []int{n}, InCh: io.InCh, OutCh: io.OutCh}
+	args := []*ir.Buffer{}
+	var in *ir.Buffer
+	var prologue ir.Stmt
+	if io.InCh != nil {
+		if naive {
+			return nil, fmt.Errorf("topi: naive softmax cannot be channelized")
+		}
+		in = ir.NewBuffer(name+"_inl", ir.Local, n)
+		prologue = ir.Seq(&ir.Alloc{Buf: in}, chanReadInto(io.InCh, in, []int{n}))
+	} else {
+		in = ir.NewBuffer(name+"_in", ir.Global, n)
+		op.In = in
+		args = append(args, in)
+	}
+	var out *ir.Buffer
+	if io.OutCh == nil {
+		out = ir.NewBuffer(name+"_out", ir.Global, n)
+		op.Out = out
+		args = append(args, out)
+	}
+
+	// Scratchpads: global in the naive schedule (TVM allocates them in the
+	// outermost scope), private after cache-write in the optimized one.
+	scope := ir.Private
+	if naive {
+		scope = ir.Global
+	}
+	maxelem := ir.NewBuffer(name+"_maxelem", scope, 1)
+	expbuf := ir.NewBuffer(name+"_exp", scope, n)
+	expsum := ir.NewBuffer(name+"_expsum", scope, 1)
+
+	i1, k, i11, k1 := ir.V("i1"), ir.V("k"), ir.V("i11"), ir.V("k1")
+	z := []ir.Expr{ir.CInt(0)}
+	maxLoop := ir.Seq(
+		&ir.Store{Buf: maxelem, Index: z, Value: ir.CFloat(-3.402823e38)},
+		ir.Loop(k, n, &ir.Store{Buf: maxelem, Index: z,
+			Value: ir.MaxE(&ir.Load{Buf: maxelem, Index: z}, &ir.Load{Buf: in, Index: []ir.Expr{k}})}),
+	)
+	expLoop := ir.Loop(i11, n, &ir.Store{Buf: expbuf, Index: []ir.Expr{i11},
+		Value: &ir.Call{Fn: "exp", Args: []ir.Expr{
+			ir.SubE(&ir.Load{Buf: in, Index: []ir.Expr{i11}}, &ir.Load{Buf: maxelem, Index: z})}}})
+	sumLoop := ir.Seq(
+		&ir.Store{Buf: expsum, Index: z, Value: ir.CFloat(0)},
+		ir.Loop(k1, n, &ir.Store{Buf: expsum, Index: z,
+			Value: ir.AddE(&ir.Load{Buf: expsum, Index: z}, &ir.Load{Buf: expbuf, Index: []ir.Expr{k1}})}),
+	)
+	normVal := ir.DivE(&ir.Load{Buf: expbuf, Index: []ir.Expr{i1}}, &ir.Load{Buf: expsum, Index: z})
+	var norm ir.Stmt
+	if io.OutCh != nil {
+		norm = &ir.ChannelWrite{Ch: io.OutCh, Value: normVal}
+	} else {
+		norm = &ir.Store{Buf: out, Index: []ir.Expr{i1}, Value: normVal}
+	}
+
+	// Listing 5.7: everything inside the i1 loop.
+	body := ir.Loop(i1, n, ir.Seq(maxLoop, expLoop, sumLoop, norm))
+
+	if naive {
+		args = append([]*ir.Buffer{maxelem, expbuf, expsum}, args...)
+		op.Scratches = append(op.Scratches, maxelem, expbuf, expsum)
+		op.Kernel = &ir.Kernel{Name: name, Args: args, Body: body}
+		return op, op.Kernel.Validate()
+	}
+
+	// Optimized: hoist the invariant max/exp/sum computation out of the
+	// class loop with the LICM schedule primitive (Listing 5.8).
+	hoisted, err := schedule.HoistInvariant(body, i1)
+	if err != nil {
+		return nil, fmt.Errorf("topi: softmax LICM failed: %w", err)
+	}
+	op.Kernel = &ir.Kernel{Name: name, Args: args,
+		Body: ir.Seq(
+			&ir.Alloc{Buf: maxelem}, &ir.Alloc{Buf: expbuf}, &ir.Alloc{Buf: expsum},
+			prologue, hoisted)}
+	return op, op.Kernel.Validate()
+}
