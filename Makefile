@@ -1,0 +1,33 @@
+# Development entry points. CI (.github/workflows/ci.yml) runs exactly these
+# targets, so a green `make lint build test race` locally means a green PR.
+
+GO ?= go
+
+.PHONY: all build test race lint bench fmt
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages: the parallel design-space explorer, the
+# deployment builders it calls into, and the runtime event queue.
+race:
+	$(GO) test -race ./internal/dse/... ./internal/host/... ./internal/clrt/...
+
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# Serial-vs-parallel explorer speedup (BenchmarkDSESerial / BenchmarkDSEParallel).
+bench:
+	$(GO) test -run=NONE -bench=BenchmarkDSE -benchtime=1x ./...
+
+fmt:
+	gofmt -w .

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/aoc"
 	"repro/internal/bench"
+	"repro/internal/dse"
 	"repro/internal/fpga"
 	"repro/internal/host"
 	"repro/internal/ir"
@@ -412,6 +413,54 @@ func BenchmarkAblationSymbolicCoalesce(b *testing.B) {
 		ratio = float64(mo.Area.ALUTs) / float64(mw.Area.ALUTs)
 	}
 	b.ReportMetric(ratio, "logic-bloat-x")
+}
+
+// ---- §4.11: parallel design-space exploration ----
+
+func dseBenchLayers(b *testing.B) []*relay.Layer {
+	b.Helper()
+	layers, err := relay.Lower(nn.MobileNetV1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return layers
+}
+
+// BenchmarkDSESerial is the baseline: one worker, memoization off — the cost
+// of the pre-parallelization explorer over the MobileNetV1 search space.
+func BenchmarkDSESerial(b *testing.B) {
+	layers := dseBenchLayers(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dse.ExploreWith(layers, "mobilenetv1", fpga.S10SX, dse.Options{
+			Workers: 1, MaxCandidates: 24, NoCache: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Evaluated == 0 {
+			b.Fatal("no candidates evaluated")
+		}
+	}
+}
+
+// BenchmarkDSEParallel runs the same search with the production settings: a
+// 4-worker pool and the compile cache. The ranking is bit-identical to the
+// serial run; only the wall-time changes.
+func BenchmarkDSEParallel(b *testing.B) {
+	layers := dseBenchLayers(b)
+	var hitRate float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dse.ExploreWith(layers, "mobilenetv1", fpga.S10SX, dse.Options{
+			Workers: 4, MaxCandidates: 24,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hitRate = res.CacheHitRate()
+	}
+	b.ReportMetric(hitRate*100, "cache-hit-%")
 }
 
 // BenchmarkAblationParameterized compares the per-layer naive design against

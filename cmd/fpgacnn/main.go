@@ -9,9 +9,13 @@
 //	fpgacnn <experiment>         # run one experiment (e.g. lenet-ladder)
 //	fpgacnn codegen <net>        # print the generated OpenCL kernels
 //	fpgacnn verify               # verify accelerator output vs the reference
+//	fpgacnn dse [-dse-workers N] [-dse-timeout D] [-dse-max N]
+//	                             # parallel design-space exploration
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -19,6 +23,7 @@ import (
 	"repro/internal/aoc"
 	"repro/internal/bench"
 	"repro/internal/codegen"
+	"repro/internal/dse"
 	"repro/internal/fpga"
 	"repro/internal/host"
 	"repro/internal/ir"
@@ -40,7 +45,7 @@ func main() {
 		for _, e := range bench.Experiments {
 			fmt.Println("  " + e)
 		}
-		fmt.Println("other commands: all, codegen <net>, verify")
+		fmt.Println("other commands: all, codegen <net>, verify, dse [-dse-workers N] [-dse-timeout D]")
 	case "all":
 		var rep string
 		rep, err = bench.All()
@@ -57,6 +62,8 @@ func main() {
 		err = dumpGraph(arg(2, "lenet5"))
 	case "verify":
 		err = verify()
+	case "dse":
+		err = runDSE(os.Args[2:])
 	default:
 		var rep string
 		rep, err = bench.Run(cmd)
@@ -78,7 +85,32 @@ func arg(i int, def string) string {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fpgacnn <command>
   list | all | <experiment> | codegen <net> | hostgen <net> | report <net> <board> |
-  timeline <net> <board> | graph <net> | verify`)
+  timeline <net> <board> | graph <net> | verify |
+  dse [-dse-workers N] [-dse-timeout D] [-dse-max N]`)
+}
+
+// runDSE drives the parallel design-space explorer experiment with explicit
+// control over worker count, candidate budget and wall-time.
+func runDSE(args []string) error {
+	fs := flag.NewFlagSet("dse", flag.ContinueOnError)
+	workers := fs.Int("dse-workers", 0, "evaluation workers (0 = GOMAXPROCS)")
+	timeout := fs.Duration("dse-timeout", 0, "bound on search wall-time (0 = none)")
+	maxCand := fs.Int("dse-max", 0, "candidate budget per board (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := dse.Options{Workers: *workers, MaxCandidates: *maxCand}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Ctx = ctx
+	}
+	_, rep, err := bench.DSEExperiment(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+	return nil
 }
 
 // dumpCodegen prints the OpenCL program for a network's deployment: the

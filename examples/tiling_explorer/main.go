@@ -1,19 +1,30 @@
 // tiling_explorer sweeps 1×1-convolution tiling configurations on a board
-// (Table 6.6 / Fig 6.3), checks the §6.5 routing-failure cases, and prints
-// the Fig 6.8 congestion map for a failing configuration.
+// (Table 6.6 / Fig 6.3), checks the §6.5 routing-failure cases, prints the
+// Fig 6.8 congestion map for a failing configuration, and then runs the
+// parallel design-space explorer (§4.11 future work) over the full tiling
+// space, bounded by -workers/-timeout/-max.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/dse"
 	"repro/internal/fpga"
+	"repro/internal/nn"
+	"repro/internal/relay"
 )
 
 func main() {
 	boardName := flag.String("board", "A10", "board for the sweep: S10MX, S10SX, A10")
+	netName := flag.String("net", "mobilenetv1", "network for the design-space exploration")
+	workers := flag.Int("workers", 0, "explorer evaluation workers (0 = GOMAXPROCS)")
+	maxCand := flag.Int("max", 24, "explorer candidate budget")
+	timeout := flag.Duration("timeout", 0, "explorer wall-time bound (0 = none)")
 	flag.Parse()
 	board, err := fpga.ByName(*boardName)
 	if err != nil {
@@ -39,4 +50,40 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(m)
+
+	// Design-space exploration over the same knobs the sweep visualizes:
+	// candidate evaluation fans out over the worker pool, kernel compiles are
+	// memoized, and the ranking is deterministic for any worker count.
+	g, err := nn.ByName(*netName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	layers, err := relay.Lower(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := dse.Options{Workers: *workers, MaxCandidates: *maxCand}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Ctx = ctx
+	}
+	start := time.Now()
+	res, err := dse.ExploreWith(layers, *netName, board, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== design-space exploration: %s on %s ==\n\n", *netName, board.Name)
+	fmt.Printf("evaluated %d candidates, pruned %d, cache hit-rate %.0f%%, wall %.2fs\n",
+		res.Evaluated, res.Pruned, res.CacheHitRate()*100, time.Since(start).Seconds())
+	if res.Canceled {
+		fmt.Println("search cancelled by -timeout; ranking the candidates evaluated so far")
+	}
+	best, err := res.Best()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best: 1x1 tiling %d/%d/%d, 3x3 tiling %d/%d, %.1f ms modeled forward pass\n",
+		best.PW.W2vec, best.PW.C2vec, best.PW.C1vec,
+		best.Conv33.W2vec, best.Conv33.C1vec, best.TimeUS/1e3)
 }

@@ -170,6 +170,11 @@ type KernelModel struct {
 
 	root node
 	opts Options
+	// scalars maps scalar-argument names to the kernel's own vars, so a
+	// cached model can evaluate bindings built against a *different* (but
+	// structurally identical) kernel instance: binding maps are keyed by
+	// *ir.Var pointer, and rebind translates foreign pointers by name.
+	scalars map[string]*ir.Var
 }
 
 // analysisCtx carries the enclosing-loop context during the walk.
@@ -188,11 +193,25 @@ type analyzer struct {
 
 // Analyze compiles a single kernel against a board, producing its LSUs, area
 // and timing model. The kernel must validate.
+//
+// Analyze is safe for concurrent use: it never mutates the input IR (the
+// auto-unroll marks live in a per-call side table, see markAutoUnroll), every
+// call builds a fresh analyzer and KernelModel, and the only package-level
+// state it reads — the calibration constants and the routeCapacity table —
+// is immutable after init. Callers may therefore analyze distinct kernels,
+// or even the same *ir.Kernel, from multiple goroutines, provided they do
+// not concurrently mutate the kernel themselves. The returned KernelModel is
+// immutable: Cycles, TrafficBytes and TimeUS are pure reads, so one model
+// may be shared across designs and goroutines (CompileCache relies on this).
 func Analyze(k *ir.Kernel, board *fpga.Board, opts Options) (*KernelModel, error) {
 	if err := k.Validate(); err != nil {
 		return nil, fmt.Errorf("aoc: %w", err)
 	}
 	a := &analyzer{board: board, opts: opts, model: &KernelModel{Kernel: k, opts: opts}}
+	a.model.scalars = make(map[string]*ir.Var, len(k.ScalarArgs))
+	for _, v := range k.ScalarArgs {
+		a.model.scalars[v.Name] = v
+	}
 	a.markAutoUnroll(k.Body)
 	root := a.walk(k.Body, nil)
 	a.model.root = root

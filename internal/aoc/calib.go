@@ -122,7 +122,9 @@ const (
 )
 
 // routeCapacity is the per-board abstract routing capacity against which the
-// worst kernel's congestion demand is compared. The relative ordering is not
+// worst kernel's congestion demand is compared. Written only at package init
+// and read concurrently by Compile/CompileCached workers — do not mutate at
+// runtime. The relative ordering is not
 // monotone in die size because the three BSPs/Quartus versions differ — the
 // thesis observes exactly this (§6.5: 7/16/8 fails on the larger S10SX while
 // the A10 routes 987-DSP configurations at degraded fmax).

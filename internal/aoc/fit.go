@@ -74,6 +74,15 @@ func (d *Design) Model(name string) *KernelModel {
 // kernels; resource and routing failures are reported in the Design, the way
 // AOC/Quartus report them.
 func Compile(name string, kernels []*ir.Kernel, board *fpga.Board, opts Options) (*Design, error) {
+	return CompileCached(name, kernels, board, opts, nil)
+}
+
+// CompileCached is Compile with per-kernel analysis memoized in cache (nil
+// disables memoization). Safe for concurrent use: the package holds no
+// mutable state — the calibration constants and the routeCapacity table are
+// read-only after init — and every Analyze builds its model from scratch
+// without touching the caller's IR.
+func CompileCached(name string, kernels []*ir.Kernel, board *fpga.Board, opts Options, cache *CompileCache) (*Design, error) {
 	d := &Design{Name: name, Board: board, Options: opts}
 	seen := map[string]bool{}
 	for _, k := range kernels {
@@ -81,7 +90,7 @@ func Compile(name string, kernels []*ir.Kernel, board *fpga.Board, opts Options)
 			return nil, fmt.Errorf("aoc: duplicate kernel name %q in design %s", k.Name, name)
 		}
 		seen[k.Name] = true
-		m, err := Analyze(k, board, opts)
+		m, err := cache.analyze(k, board, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -22,16 +22,48 @@ import (
 // Cycles evaluates the kernel's cycle count for one invocation under the
 // given symbolic-shape bindings (nil for constant-shape kernels).
 func (m *KernelModel) Cycles(bind map[*ir.Var]int64) int64 {
-	return evalNode(m.root, bind)
+	return evalNode(m.root, m.rebind(bind))
 }
 
 // TrafficBytes sums external-memory traffic over all LSU sites.
 func (m *KernelModel) TrafficBytes(bind map[*ir.Var]int64) int64 {
+	bind = m.rebind(bind)
 	var n int64
 	for _, l := range m.LSUs {
 		n += l.TrafficBytes(bind)
 	}
 	return n
+}
+
+// rebind translates a binding map built against another structurally
+// identical kernel instance onto this model's own scalar-argument vars.
+// Compile caching hands one KernelModel to many designs, whose plans bind
+// their own *ir.Var pointers; matching by name keeps those bindings valid.
+// Returns the input map unchanged (no allocation) when the pointers already
+// belong to this kernel.
+func (m *KernelModel) rebind(bind map[*ir.Var]int64) map[*ir.Var]int64 {
+	if len(bind) == 0 {
+		return bind
+	}
+	same := true
+	for v := range bind {
+		if m.scalars[v.Name] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		return bind
+	}
+	out := make(map[*ir.Var]int64, len(bind))
+	for v, n := range bind {
+		if mv, ok := m.scalars[v.Name]; ok {
+			out[mv] = n
+		} else {
+			out[v] = n
+		}
+	}
+	return out
 }
 
 // TimeUS returns the modeled kernel execution time in microseconds on a

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/dse"
 	"repro/internal/fpga"
 )
 
@@ -132,7 +133,7 @@ func Run(name string) (string, error) {
 		}
 		return RelatedWork(in), nil
 	case "dse":
-		_, rep, err := DSEExperiment()
+		_, rep, err := DSEExperiment(dse.Options{})
 		return rep, err
 	case "quantization":
 		_, rep, err := QuantizationProjection()

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/dse"
 	"repro/internal/fpga"
 )
 
@@ -366,7 +367,7 @@ func TestRunDispatch(t *testing.T) {
 }
 
 func TestDSEExperimentBeatsOrMatchesHandConfig(t *testing.T) {
-	results, rep, err := DSEExperiment()
+	results, rep, err := DSEExperiment(dse.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

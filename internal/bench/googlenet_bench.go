@@ -44,7 +44,7 @@ func GoogLeNetFeasibility() ([]GoogLeNetResult, string, error) {
 		len(layers), float64(g.Params())/1e6, float64(g.FLOPs())/1e9)
 	tb := &table{header: []string{"Board", "1x1 tiling (DSE)", "Kernels", "fmax", "FPS", "GFLOPS", "Status"}}
 	for _, board := range []*fpga.Board{fpga.S10SX, fpga.A10} {
-		res, err := dse.Explore(layers, "googlenet", board, 10)
+		res, err := dse.ExploreWith(layers, "googlenet", board, dse.Options{MaxCandidates: 10})
 		if err != nil {
 			return nil, "", err
 		}

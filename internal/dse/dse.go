@@ -17,11 +17,48 @@
 // folded deployment, using exactly the same AOC model the evaluation uses,
 // so the search optimizes whole-network throughput rather than a single
 // kernel's.
+//
+// # Parallel architecture
+//
+// Exploration is split into four phases:
+//
+//  1. Enumeration (sequential, cheap): the divisor-respecting tiling space is
+//     generated in a deterministic preference order (largest total unroll
+//     first, balanced channel factors breaking ties) and pre-pruned by the
+//     §4.11 bandwidth rule.
+//  2. Probe (parallel): each 1x1 tiling group is routability-screened by
+//     compiling its dominant kernel alone — a 1x1 kernel that cannot route
+//     by itself can never route inside the full design.
+//  3. Slot assignment (sequential, cheap): surviving (1x1, 3x3) pairs are
+//     assigned evaluation slots in enumeration order until MaxCandidates
+//     slots are reserved. Reserving slots *before* evaluation makes the
+//     Result.Evaluated accounting exact under concurrency — the cap can
+//     never be overshot by racing workers.
+//  4. Evaluation (parallel): each reserved slot compiles the full folded
+//     deployment and models one forward pass. Workers pull slot indices
+//     from an atomic counter; results land at their slot index.
+//
+// Determinism: the final ranking is produced by a stable sort over the slot
+// array, so equal-time candidates keep their enumeration order and the
+// Result is identical for any worker count — Explore with Workers: 16
+// returns byte-identical candidates to Workers: 1. Kernel compilations are
+// memoized in an aoc.CompileCache (identical ConvSched/signature pairs recur
+// across candidates); the singleflight cache makes even the hit/miss
+// counters reported in Result independent of scheduling.
+//
+// Cancellation: Options.Ctx bounds search wall-time. On cancellation the
+// explorer stops dispatching work promptly and returns a well-formed partial
+// Result (Canceled=true) holding every candidate fully evaluated before the
+// deadline.
 package dse
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/aoc"
 	"repro/internal/fpga"
@@ -30,6 +67,25 @@ import (
 	"repro/internal/relay"
 	"repro/internal/topi"
 )
+
+// Options configures an exploration run. The zero value explores with
+// GOMAXPROCS workers, a 64-candidate budget, no deadline and a fresh
+// compile cache.
+type Options struct {
+	// Workers bounds evaluation concurrency; <= 0 means runtime.GOMAXPROCS.
+	Workers int
+	// MaxCandidates bounds the number of fully compiled designs (the
+	// expensive step); <= 0 means 64.
+	MaxCandidates int
+	// Ctx cancels or bounds the search; nil means context.Background().
+	Ctx context.Context
+	// Cache memoizes kernel compilations. Nil allocates a private cache for
+	// the run; pass a shared cache to reuse compilations across runs on the
+	// same board.
+	Cache *aoc.CompileCache
+	// NoCache disables compile memoization entirely (benchmarks/ablations).
+	NoCache bool
+}
 
 // Candidate is one evaluated configuration.
 type Candidate struct {
@@ -55,8 +111,26 @@ type Result struct {
 	Board      *fpga.Board
 	Net        string
 	Candidates []Candidate // sorted: synthesizable first, fastest first
-	Evaluated  int
-	Pruned     int // rejected before compilation (divisibility/bandwidth)
+	// Evaluated is the number of fully compiled designs; it always equals
+	// len(Candidates), even under concurrency or cancellation.
+	Evaluated int
+	Pruned    int // rejected before full compilation (divisibility/bandwidth/probe)
+	// Canceled reports that Options.Ctx expired before the search finished;
+	// the Result then holds the candidates evaluated up to that point.
+	Canceled bool
+	// CacheHits/CacheMisses are this run's kernel-compile memoization
+	// counters (deltas when a shared cache is passed in).
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// CacheHitRate returns the fraction of kernel compilations served from the
+// memoization cache during this run.
+func (r *Result) CacheHitRate() float64 {
+	if r.CacheHits+r.CacheMisses == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.CacheHits+r.CacheMisses)
 }
 
 // Best returns the fastest synthesizable candidate.
@@ -65,6 +139,9 @@ func (r *Result) Best() (*Candidate, error) {
 		if r.Candidates[i].Synthesizable {
 			return &r.Candidates[i], nil
 		}
+	}
+	if r.Canceled {
+		return nil, fmt.Errorf("dse: search for %s on %s cancelled before any synthesizable configuration was evaluated", r.Net, r.Board.Name)
 	}
 	return nil, fmt.Errorf("dse: no synthesizable configuration for %s on %s", r.Net, r.Board.Name)
 }
@@ -140,21 +217,52 @@ func divisorsOf(n, cap int) []int {
 	return out
 }
 
-// Explore enumerates and ranks configurations for a network on a board.
-// maxCandidates bounds the number of compiled designs (the expensive step);
-// enumeration order prefers balanced tilings first.
+// pwCfg is one 1x1-convolution tiling group from the enumeration phase.
+type pwCfg struct{ w2, c2, c1 int }
+
+// Explore enumerates and ranks configurations for a network on a board with
+// default options. maxCandidates bounds the number of compiled designs (the
+// expensive step); enumeration order prefers balanced tilings first.
 func Explore(layers []*relay.Layer, net string, board *fpga.Board, maxCandidates int) (*Result, error) {
+	return ExploreWith(layers, net, board, Options{MaxCandidates: maxCandidates})
+}
+
+// ExploreWith enumerates and ranks configurations under the given Options.
+// See the package comment for the phase structure and the determinism and
+// cancellation guarantees.
+func ExploreWith(layers []*relay.Layer, net string, board *fpga.Board, opts Options) (*Result, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxCandidates := opts.MaxCandidates
 	if maxCandidates <= 0 {
 		maxCandidates = 64
 	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cache := opts.Cache
+	if cache == nil && !opts.NoCache {
+		cache = aoc.NewCompileCache()
+	}
+	hits0, misses0 := cache.Stats()
+
 	facts := gatherFacts(layers)
 	res := &Result{Board: board, Net: net}
+	defer func() {
+		hits1, misses1 := cache.Stats()
+		res.CacheHits = hits1 - hits0
+		res.CacheMisses = misses1 - misses0
+	}()
+
+	// --- Phase 1: enumeration (sequential, deterministic order) ---
 
 	// Rule 1 (§4.11): the widest memory access must not exceed the memory
 	// system's bytes/cycle at a conservative clock.
 	maxFloats := int(board.BytesPerCycleAt(board.BaseFmaxMHz*0.7) / 4)
 
-	type pwCfg struct{ w2, c2, c1 int }
 	var pws []pwCfg
 	if facts.hasPW {
 		for _, w2 := range divisorsOf(facts.pwW2, 14) {
@@ -216,44 +324,101 @@ func Explore(layers []*relay.Layer, net string, board *fpga.Board, maxCandidates
 		dwVec = dw[len(dw)-1]
 	}
 
-	for _, pw := range pws {
-		// Cheap feasibility pre-check: the dominant kernel compiled alone.
-		// A 1x1 kernel that cannot route by itself can never route inside
-		// the full design, so skip the expensive whole-network build.
-		if facts.hasPW {
+	// --- Phase 2: routability probes (parallel) ---
+	// Cheap feasibility pre-check per 1x1 group: the dominant kernel
+	// compiled alone. A 1x1 kernel that cannot route by itself can never
+	// route inside the full design, so its whole candidate row is skipped
+	// before any expensive whole-network build.
+	pass := make([]bool, len(pws))
+	prunedByProbe := make([]bool, len(pws))
+	var probeDone []bool
+	if facts.hasPW {
+		var errs []error
+		probeDone, errs = runJobs(ctx, len(pws), workers, func(i int) error {
+			pw := pws[i]
 			probe, err := topi.ConvParam("dse_probe", 1, 1,
 				topi.OptSched(pw.w2, pw.c2, pw.c1), true, true, false, true)
 			if err != nil {
-				res.Pruned++
-				continue
+				prunedByProbe[i] = true
+				return nil
 			}
-			pd, err := aoc.Compile("dse-probe", []*ir.Kernel{probe.Op.Kernel}, board, aoc.DefaultOptions)
+			pd, err := aoc.CompileCached("dse-probe", []*ir.Kernel{probe.Op.Kernel}, board, aoc.DefaultOptions, cache)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !pd.Synthesizable() {
-				res.Pruned++
-				continue
+				prunedByProbe[i] = true
+				return nil
 			}
-		}
-		for _, c33 := range c33s {
-			if res.Evaluated >= maxCandidates {
-				break
-			}
-			cfg := buildConfig(layers, facts, pw.w2, pw.c2, pw.c1, c33, dwVec, denseVec)
-			cand, err := evaluate(layers, cfg, board)
-			if err != nil {
+			pass[i] = true
+			return nil
+		})
+		for i, err := range errs {
+			if probeDone[i] && err != nil {
 				return nil, err
 			}
-			cand.PW = topi.OptSched(pw.w2, pw.c2, pw.c1)
-			cand.Conv33 = c33
-			res.Candidates = append(res.Candidates, *cand)
-			res.Evaluated++
 		}
-		if res.Evaluated >= maxCandidates {
-			break
+		for i := range pws {
+			if probeDone[i] && prunedByProbe[i] {
+				res.Pruned++
+			}
+		}
+	} else {
+		probeDone = make([]bool, len(pws))
+		for i := range pws {
+			probeDone[i], pass[i] = true, true
 		}
 	}
+
+	// --- Phase 3: slot assignment (sequential, exact accounting) ---
+	// Every reserved slot corresponds to exactly one full evaluation, so the
+	// MaxCandidates cap is enforced before any worker starts: concurrent
+	// evaluation cannot overshoot it.
+	type slot struct{ pwIdx, c33Idx int }
+	var slots []slot
+assign:
+	for i := range pws {
+		if !probeDone[i] || !pass[i] {
+			continue
+		}
+		for j := range c33s {
+			if len(slots) >= maxCandidates {
+				break assign
+			}
+			slots = append(slots, slot{i, j})
+		}
+	}
+
+	// --- Phase 4: evaluation (parallel) ---
+	cands := make([]*Candidate, len(slots))
+	evalDone, evalErrs := runJobs(ctx, len(slots), workers, func(i int) error {
+		pw := pws[slots[i].pwIdx]
+		c33 := c33s[slots[i].c33Idx]
+		cfg := buildConfig(layers, facts, pw.w2, pw.c2, pw.c1, c33, dwVec, denseVec)
+		cand, err := evaluate(layers, cfg, board, cache)
+		if err != nil {
+			return err
+		}
+		cand.PW = topi.OptSched(pw.w2, pw.c2, pw.c1)
+		cand.Conv33 = c33
+		cands[i] = cand
+		return nil
+	})
+	for i, err := range evalErrs {
+		if evalDone[i] && err != nil {
+			return nil, err
+		}
+	}
+
+	// Collect completed slots in enumeration order; the stable sort then
+	// breaks time ties by enumeration index for any worker count.
+	for i, c := range cands {
+		if evalDone[i] && c != nil {
+			res.Candidates = append(res.Candidates, *c)
+			res.Evaluated++
+		}
+	}
+	res.Canceled = ctx.Err() != nil
 
 	sort.SliceStable(res.Candidates, func(i, j int) bool {
 		a, b := res.Candidates[i], res.Candidates[j]
@@ -266,6 +431,47 @@ func Explore(layers []*relay.Layer, net string, board *fpga.Board, maxCandidates
 		return a.TimeUS < b.TimeUS
 	})
 	return res, nil
+}
+
+// runJobs executes fn(i) for every i in [0, n) on up to `workers` goroutines.
+// Workers reserve indices by atomically incrementing a shared counter, so
+// each index runs exactly once; when ctx is done, workers stop reserving new
+// indices and drain promptly. done[i] reports whether fn(i) ran to
+// completion; errs[i] holds its error. Callers scan errs in index order so
+// the reported error is deterministic regardless of scheduling.
+func runJobs(ctx context.Context, n, workers int, fn func(i int) error) (done []bool, errs []error) {
+	done = make([]bool, n)
+	errs = make([]error, n)
+	if n == 0 {
+		return done, errs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+				done[i] = true
+			}
+		}()
+	}
+	wg.Wait()
+	return done, errs
 }
 
 func abs(x int) int {
@@ -322,8 +528,8 @@ func convSigLocal(l *relay.Layer) string {
 }
 
 // evaluate compiles the configuration and models one forward pass.
-func evaluate(layers []*relay.Layer, cfg host.FoldedConfig, board *fpga.Board) (*Candidate, error) {
-	dep, err := host.BuildFolded(layers, cfg, board, aoc.DefaultOptions)
+func evaluate(layers []*relay.Layer, cfg host.FoldedConfig, board *fpga.Board, cache *aoc.CompileCache) (*Candidate, error) {
+	dep, err := host.BuildFoldedCached(layers, cfg, board, aoc.DefaultOptions, cache)
 	if err != nil {
 		// Divisibility misses surface as build errors: an unsynthesizable
 		// candidate, not an explorer failure.
@@ -339,12 +545,10 @@ func evaluate(layers []*relay.Layer, cfg host.FoldedConfig, board *fpga.Board) (
 		return c, nil
 	}
 	c.Synthesizable = true
-	prof, err := dep.ProfileOps()
+	us, err := dep.ForwardTimeUS()
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range prof {
-		c.TimeUS += p.TimeUS
-	}
+	c.TimeUS = us
 	return c, nil
 }

@@ -1,7 +1,10 @@
 package dse
 
 import (
+	"context"
+	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/aoc"
 	"repro/internal/fpga"
@@ -163,6 +166,120 @@ func TestBestErrorsWhenNothingFits(t *testing.T) {
 	r := &Result{Net: "x", Board: fpga.A10, Candidates: []Candidate{{Synthesizable: false}}}
 	if _, err := r.Best(); err == nil {
 		t.Fatal("Best must fail when nothing synthesizes")
+	}
+}
+
+// TestExploreDeterministicAcrossWorkerCounts is the core guarantee of the
+// parallel explorer: the Result — candidate order, modeled times, pruning and
+// cache counters — is bit-identical no matter how many workers evaluate it.
+func TestExploreDeterministicAcrossWorkerCounts(t *testing.T) {
+	lenet, err := relay.Lower(nn.LeNet5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := []struct {
+		name   string
+		layers []*relay.Layer
+		max    int
+	}{
+		{"lenet5", lenet, 8},
+		{"mobilenetv1", mobilenetLayers(t), 24},
+	}
+	for _, net := range nets {
+		var ref *Result
+		for _, workers := range []int{1, 4, 16} {
+			res, err := ExploreWith(net.layers, net.name, fpga.S10SX, Options{
+				Workers: workers, MaxCandidates: net.max,
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", net.name, workers, err)
+			}
+			if workers == 1 {
+				ref = res
+				continue
+			}
+			if !reflect.DeepEqual(res.Candidates, ref.Candidates) {
+				t.Fatalf("%s: candidates differ between 1 and %d workers", net.name, workers)
+			}
+			if res.Evaluated != ref.Evaluated || res.Pruned != ref.Pruned {
+				t.Fatalf("%s workers=%d: evaluated/pruned %d/%d vs serial %d/%d",
+					net.name, workers, res.Evaluated, res.Pruned, ref.Evaluated, ref.Pruned)
+			}
+			if res.CacheHits != ref.CacheHits || res.CacheMisses != ref.CacheMisses {
+				t.Fatalf("%s workers=%d: cache %d/%d vs serial %d/%d",
+					net.name, workers, res.CacheHits, res.CacheMisses, ref.CacheHits, ref.CacheMisses)
+			}
+		}
+	}
+}
+
+// TestExploreCancellation: a pre-cancelled context must return promptly with
+// a well-formed partial Result rather than an error or a hang.
+func TestExploreCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := ExploreWith(mobilenetLayers(t), "mobilenetv1", fpga.S10SX, Options{Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled search took %v", elapsed)
+	}
+	if !res.Canceled {
+		t.Fatal("Result.Canceled must be set for a cancelled search")
+	}
+	if res.Evaluated != len(res.Candidates) {
+		t.Fatalf("Evaluated %d != len(Candidates) %d", res.Evaluated, len(res.Candidates))
+	}
+	for _, c := range res.Candidates {
+		if c.Synthesizable && c.TimeUS <= 0 {
+			t.Fatalf("partial result holds malformed candidate: %+v", c)
+		}
+	}
+}
+
+// TestExploreExactBudgetAccounting: the MaxCandidates cap is exact under
+// concurrency — workers must not overshoot the budget between them.
+func TestExploreExactBudgetAccounting(t *testing.T) {
+	layers := mobilenetLayers(t)
+	for _, max := range []int{1, 3, 7} {
+		res, err := ExploreWith(layers, "mobilenetv1", fpga.S10SX, Options{
+			Workers: 8, MaxCandidates: max,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Evaluated != max {
+			t.Fatalf("max=%d: evaluated %d", max, res.Evaluated)
+		}
+		if len(res.Candidates) != max {
+			t.Fatalf("max=%d: %d candidates", max, len(res.Candidates))
+		}
+	}
+}
+
+// TestExploreSharedCacheAcrossRuns: a caller-provided cache survives between
+// searches, so a second identical run compiles nothing.
+func TestExploreSharedCacheAcrossRuns(t *testing.T) {
+	layers := mobilenetLayers(t)
+	cache := aoc.NewCompileCache()
+	first, err := ExploreWith(layers, "mobilenetv1", fpga.S10SX, Options{MaxCandidates: 8, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheMisses == 0 {
+		t.Fatal("first run must populate the cache")
+	}
+	second, err := ExploreWith(layers, "mobilenetv1", fpga.S10SX, Options{MaxCandidates: 8, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheMisses != 0 {
+		t.Fatalf("second run recompiled %d kernels", second.CacheMisses)
+	}
+	if !reflect.DeepEqual(first.Candidates, second.Candidates) {
+		t.Fatal("cached run must rank identically to the cold run")
 	}
 }
 

@@ -75,6 +75,16 @@ type Folded struct {
 
 // BuildFolded generates the kernel set and execution plan for a network.
 func BuildFolded(layers []*relay.Layer, cfg FoldedConfig, board *fpga.Board, opts aoc.Options) (*Folded, error) {
+	return BuildFoldedCached(layers, cfg, board, opts, nil)
+}
+
+// BuildFoldedCached is BuildFolded with kernel compilation memoized in cache
+// (nil disables memoization). The design-space explorer calls this from many
+// goroutines at once: the build touches no package-level state and reads the
+// layers purely, so concurrent builds over the same layer slice are safe as
+// long as callers do not mutate the layers. Each call gets its own kernels,
+// plan and Folded; only the immutable cached KernelModels are shared.
+func BuildFoldedCached(layers []*relay.Layer, cfg FoldedConfig, board *fpga.Board, opts aoc.Options, cache *aoc.CompileCache) (*Folded, error) {
 	f := &Folded{Board: board, Layers: layers, Config: cfg, outIdxOf: map[int]int{}}
 	f.inShape = layers[0].InShape
 	f.outShape = layers[len(layers)-1].OutShape
@@ -322,7 +332,7 @@ func BuildFolded(layers []*relay.Layer, cfg FoldedConfig, board *fpga.Board, opt
 		f.plan = append(f.plan, inv)
 	}
 
-	d, err := aoc.Compile(foldedName(cfg), kernels, board, opts)
+	d, err := aoc.CompileCached(foldedName(cfg), kernels, board, opts, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -493,6 +503,25 @@ func (f *Folded) Run(n int, profiling bool) (*RunResult, error) {
 	}, nil
 }
 
+// ForwardTimeUS returns the modeled time of one forward pass: per-invocation
+// kernel times summed in plan order. Unlike summing ProfileOps (whose
+// grouping map iterates in random order), the result is bit-identical across
+// runs — the design-space explorer ranks candidates with it.
+func (f *Folded) ForwardTimeUS() (float64, error) {
+	if err := f.Design.Err(); err != nil {
+		return 0, err
+	}
+	var us float64
+	for _, inv := range f.plan {
+		m := f.Design.Model(inv.kernel.Name)
+		if m == nil {
+			return 0, fmt.Errorf("host: kernel %s missing from design", inv.kernel.Name)
+		}
+		us += m.TimeUS(inv.bindings, f.Design.FmaxMHz, f.Board)
+	}
+	return us, nil
+}
+
 // OpProfile aggregates modeled kernel time and GFLOPS by operation class
 // for one image (Tables 6.8 and 6.16).
 type OpProfile struct {
@@ -511,6 +540,7 @@ func (f *Folded) ProfileOps() ([]OpProfile, error) {
 		return nil, err
 	}
 	byClass := map[string]*OpProfile{}
+	var classes []string // first-appearance order, so ties sort deterministically
 	var totalUS float64
 	var totalFL int64
 	for _, inv := range f.plan {
@@ -524,6 +554,7 @@ func (f *Folded) ProfileOps() ([]OpProfile, error) {
 		if p == nil {
 			p = &OpProfile{Class: inv.opClass}
 			byClass[inv.opClass] = p
+			classes = append(classes, inv.opClass)
 		}
 		p.TimeUS += us
 		p.FLOPs += fl
@@ -531,7 +562,8 @@ func (f *Folded) ProfileOps() ([]OpProfile, error) {
 		totalFL += fl
 	}
 	var out []OpProfile
-	for _, p := range byClass {
+	for _, c := range classes {
+		p := byClass[c]
 		if p.TimeUS > 0 {
 			p.GFLOPS = float64(p.FLOPs) / p.TimeUS / 1e3
 		}
@@ -539,6 +571,6 @@ func (f *Folded) ProfileOps() ([]OpProfile, error) {
 		p.FLOPShare = float64(p.FLOPs) / float64(totalFL)
 		out = append(out, *p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].FLOPs > out[j].FLOPs })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].FLOPs > out[j].FLOPs })
 	return out, nil
 }
