@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench fmt
+.PHONY: all build test race lint bench chaos fmt
 
 all: lint build test
 
@@ -28,6 +28,18 @@ lint:
 # Serial-vs-parallel explorer speedup (BenchmarkDSESerial / BenchmarkDSEParallel).
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkDSE -benchtime=1x ./...
+
+# Chaos smoke: the fault-injection matrix (the Resilient/Watchdog/Ladder tests
+# sweep seeds 1-3 internally) under the race detector, the static channel
+# verifier over the example networks, and the chaos CLI across three seeds.
+chaos:
+	$(GO) test -race ./internal/fault/...
+	$(GO) test -race -run 'Fault|Injected|Resilient|Watchdog|Ladder|Deadlock|Drain' \
+		./internal/clrt/... ./internal/sim/... ./internal/host/...
+	$(GO) run ./cmd/fpgacnn verify
+	for seed in 1 2 3; do \
+		$(GO) run ./cmd/fpgacnn chaos -fault-rate 0.1 -fault-seed $$seed -images 3 || exit 1; \
+	done
 
 fmt:
 	gofmt -w .

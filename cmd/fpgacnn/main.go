@@ -8,7 +8,9 @@
 //	fpgacnn all                  # run every experiment (the full evaluation)
 //	fpgacnn <experiment>         # run one experiment (e.g. lenet-ladder)
 //	fpgacnn codegen <net>        # print the generated OpenCL kernels
-//	fpgacnn verify               # verify accelerator output vs the reference
+//	fpgacnn verify               # static channel checks + output vs reference
+//	fpgacnn chaos [-fault-seed N] [-fault-rate P] [-watchdog-us D]
+//	                             # run the degradation ladder under fault injection
 //	fpgacnn dse [-dse-workers N] [-dse-timeout D] [-dse-max N]
 //	                             # parallel design-space exploration
 package main
@@ -30,6 +32,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/relay"
 	"repro/internal/tensor"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -45,7 +48,7 @@ func main() {
 		for _, e := range bench.Experiments {
 			fmt.Println("  " + e)
 		}
-		fmt.Println("other commands: all, codegen <net>, verify, dse [-dse-workers N] [-dse-timeout D]")
+		fmt.Println("other commands: all, codegen <net>, verify, chaos, dse [-dse-workers N] [-dse-timeout D]")
 	case "all":
 		var rep string
 		rep, err = bench.All()
@@ -61,7 +64,9 @@ func main() {
 	case "graph":
 		err = dumpGraph(arg(2, "lenet5"))
 	case "verify":
-		err = verify()
+		err = runVerify()
+	case "chaos":
+		err = runChaos(os.Args[2:])
 	case "dse":
 		err = runDSE(os.Args[2:])
 	default:
@@ -86,6 +91,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fpgacnn <command>
   list | all | <experiment> | codegen <net> | hostgen <net> | report <net> <board> |
   timeline <net> <board> | graph <net> | verify |
+  chaos [-fault-seed N] [-fault-rate P] [-watchdog-us D] [-images N] |
   dse [-dse-workers N] [-dse-timeout D] [-dse-max N]`)
 }
 
@@ -294,14 +300,43 @@ func dumpGraph(net string) error {
 	return nil
 }
 
-// verify runs the host program's output-verification path: every LeNet
+// runVerify runs both verification paths: the static channel verifier over
+// the example networks' kernel sets (the pre-compile check a real aoc flow
+// would want, since a trip-count mismatch only shows up as a hang on
+// hardware), then the host program's output-verification path — every LeNet
 // bitstream variant executed on the IR interpreter against the native
 // reference, over all ten digits.
-func verify() error {
+func runVerify() error {
 	layers, err := relay.Lower(nn.LeNet5())
 	if err != nil {
 		return err
 	}
+	fmt.Println("== static channel verification ==")
+	for _, v := range host.PipeVariants {
+		p, err := host.BuildPipelined(layers, v, fpga.S10SX, aoc.DefaultOptions)
+		if err != nil {
+			return err
+		}
+		if err := printStaticVerdict("lenet5/"+v.String(), p.KernelSet()); err != nil {
+			return err
+		}
+	}
+	mnLayers, err := relay.Lower(nn.MobileNetV1())
+	if err != nil {
+		return err
+	}
+	cfg, err := bench.FoldedConfigFor("mobilenetv1", fpga.S10SX)
+	if err != nil {
+		return err
+	}
+	f, err := host.BuildFolded(mnLayers, cfg, fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		return err
+	}
+	if err := printStaticVerdict("mobilenetv1/folded", f.KernelSet()); err != nil {
+		return err
+	}
+	fmt.Println("\n== output verification ==")
 	for _, v := range host.PipeVariants {
 		p, err := host.BuildPipelined(layers, v, fpga.S10SX, aoc.DefaultOptions)
 		if err != nil {
@@ -329,5 +364,72 @@ func verify() error {
 	}
 	fmt.Println(strings.Repeat("-", 44))
 	fmt.Println("all bitstreams match the reference output")
+	return nil
+}
+
+// printStaticVerdict runs the static channel verifier on one kernel set and
+// prints a one-line verdict (plus any warnings). Errors abort verification.
+func printStaticVerdict(name string, ks []*ir.Kernel) error {
+	res := verify.Kernels(ks)
+	for _, d := range res.Warnings() {
+		fmt.Printf("%-22s warning: %s\n", name, d.Msg)
+	}
+	if errs := res.Errors(); len(errs) > 0 {
+		for _, d := range errs {
+			fmt.Printf("%-22s ERROR: %s\n", name, d.Msg)
+		}
+		return fmt.Errorf("%s: static channel verification failed", name)
+	}
+	fmt.Printf("%-22s OK  (%d kernels, %d warnings)\n", name, len(ks), len(res.Warnings()))
+	return nil
+}
+
+// runChaos runs the example networks under deterministic fault injection:
+// LeNet-5 through the full degradation ladder (with output checking), and
+// MobileNetV1 through the resilient timed path on its tuned folded design.
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	seed := fs.Int64("fault-seed", 1, "deterministic fault injector seed")
+	rate := fs.Float64("fault-rate", 0.1, "per-probe fault probability in [0,1]")
+	watchdog := fs.Float64("watchdog-us", 0, "per-image watchdog deadline in simulated microseconds (0 = none)")
+	images := fs.Int("images", 5, "images to run per network")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctrl := host.RunControl{FaultSeed: *seed, FaultRate: *rate, WatchdogUS: *watchdog}
+
+	layers, err := relay.Lower(nn.LeNet5())
+	if err != nil {
+		return err
+	}
+	rungs := host.PipelinedLadder(layers, fpga.S10SX, aoc.DefaultOptions)
+	rep, err := host.RunLadder("lenet5", layers, rungs, nn.Digit(3), *images, ctrl)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Summary())
+
+	mnLayers, err := relay.Lower(nn.MobileNetV1())
+	if err != nil {
+		return err
+	}
+	cfg, err := bench.FoldedConfigFor("mobilenetv1", fpga.S10SX)
+	if err != nil {
+		return err
+	}
+	f, err := host.BuildFolded(mnLayers, cfg, fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		return err
+	}
+	r, stats, err := f.RunResilient(*images, ctrl)
+	if err != nil {
+		return fmt.Errorf("mobilenetv1: resilient run failed despite retries: %w", err)
+	}
+	fmt.Printf("\nmobilenetv1 (folded, timed): %d images in %.1f us simulated\n", *images, r.ElapsedUS)
+	fmt.Printf("  injected faults: %d, retries: %d, watchdog trips: %d\n",
+		len(stats.Faults), stats.Retries, stats.WatchdogTrips)
+	for _, rec := range stats.Faults {
+		fmt.Printf("  fault: %s\n", rec)
+	}
 	return nil
 }

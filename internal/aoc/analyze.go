@@ -321,6 +321,8 @@ func (a *analyzer) walk(s ir.Stmt, ctx []loopCtx) node {
 		e := a.walk(x.Else, ctx)
 		return &blockNode{children: []node{t, e}}
 	}
+	// Invariant: the switch is exhaustive over ir's statement kinds; a new IR
+	// node must be taught to the analyzer before it can be compiled.
 	panic(fmt.Sprintf("aoc: unknown stmt %T", s))
 }
 
@@ -888,6 +890,9 @@ func evalInt(e ir.Expr, bind map[*ir.Var]int64) int64 {
 		return x.Value
 	case *ir.Var:
 		v, ok := bind[x]
+		// Invariant: bindings are built by the Param*.Bind constructors, which
+		// cover every scalar argument; a hole means a host-program bug, not a
+		// user mistake.
 		if !ok {
 			panic(fmt.Sprintf("aoc: unbound symbolic parameter %s", x.Name))
 		}
@@ -917,5 +922,7 @@ func evalInt(e ir.Expr, bind map[*ir.Var]int64) int64 {
 			return b
 		}
 	}
+	// Invariant: loop bounds and indices are integer expressions by IR
+	// construction; a float here means a topi/schedule bug.
 	panic(fmt.Sprintf("aoc: cannot evaluate %T as int", e))
 }

@@ -249,6 +249,7 @@ func (f *fingerprinter) expr(e ir.Expr) {
 		f.expr(x.A)
 		f.expr(x.B)
 	default:
+		// New expression kinds must be added here before they can be cached.
 		panic("aoc: fingerprint: unknown expr")
 	}
 }

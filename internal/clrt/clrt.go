@@ -14,13 +14,20 @@
 package clrt
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/aoc"
+	"repro/internal/fault"
 	"repro/internal/ir"
 )
+
+// ErrChannelDrain marks a channel dataflow whose fixed-point propagation
+// never converges: a cyclic channel topology that can never drain. On
+// hardware this is a hang; here it is a returned diagnostic.
+var ErrChannelDrain = errors.New("clrt: channel dataflow does not converge (cyclic channel topology that can never drain)")
 
 const (
 	// dispatchUS is the device-side cost of launching a host-controlled
@@ -41,6 +48,12 @@ type Event struct {
 	QueuedUS float64
 	StartUS  float64
 	EndUS    float64
+	// Corrupt marks a transfer whose payload was damaged in flight by an
+	// injected fault (the host detects it by checksum and re-transfers).
+	Corrupt bool
+	// Stalled marks a kernel execution inflated by an injected stall; only a
+	// watchdog deadline catches it.
+	Stalled bool
 }
 
 // Duration returns the command's execution span in microseconds.
@@ -63,6 +76,9 @@ type Context struct {
 	// code, disables asynchronous/concurrent execution benefits by forcing
 	// a sync after every command.
 	Profiling bool
+	// Injector, when set, injects deterministic faults into transfers,
+	// enqueues and kernel executions. nil (the default) is inert.
+	Injector *fault.Injector
 
 	hostUS    float64
 	pcieAvail float64
@@ -152,10 +168,17 @@ func (c *Context) host() float64 {
 	return c.hostUS
 }
 
-// EnqueueWrite transfers bytes from host to device.
-func (q *Queue) EnqueueWrite(b *Buffer, bytes int) *Event {
+// EnqueueWrite transfers bytes from host to device. An injected transfer
+// fault surfaces as an error: a hard failure costs only the enqueue call; a
+// corruption completes the transfer (the PCIe time is spent) but returns the
+// error alongside the event, the way a checksum-detecting host sees it.
+func (q *Queue) EnqueueWrite(b *Buffer, bytes int) (*Event, error) {
 	c := q.ctx
 	queued := c.host()
+	ferr := c.Injector.Transfer("write "+b.Name, queued)
+	if ferr != nil && ferr.Kind == fault.TransferFail {
+		return nil, ferr
+	}
 	start := math.Max(math.Max(queued, q.gate()), c.pcieAvail)
 	start = math.Max(start, math.Max(b.readAvail, b.writeAvail))
 	dur := c.Design.Board.PCIe.WriteTimeUS(bytes)
@@ -165,14 +188,23 @@ func (q *Queue) EnqueueWrite(b *Buffer, bytes int) *Event {
 	if c.Profiling {
 		c.hostUS = math.Max(c.hostUS, end) // blocking wait for the event
 	}
-	return c.record(&Event{Kind: "write", Name: b.Name, QueuedUS: queued, StartUS: start, EndUS: end})
+	ev := c.record(&Event{Kind: "write", Name: b.Name, QueuedUS: queued, StartUS: start, EndUS: end, Corrupt: ferr != nil})
+	if ferr != nil {
+		return ev, ferr
+	}
+	return ev, nil
 }
 
 // EnqueueRead transfers bytes from device to host and blocks the host until
-// complete (the thesis's host reads back results synchronously).
-func (q *Queue) EnqueueRead(b *Buffer, bytes int) *Event {
+// complete (the thesis's host reads back results synchronously). Injected
+// faults surface as for EnqueueWrite.
+func (q *Queue) EnqueueRead(b *Buffer, bytes int) (*Event, error) {
 	c := q.ctx
 	queued := c.host()
+	ferr := c.Injector.Transfer("read "+b.Name, queued)
+	if ferr != nil && ferr.Kind == fault.TransferFail {
+		return nil, ferr
+	}
 	start := math.Max(math.Max(queued, q.gate()), c.pcieAvail)
 	start = math.Max(start, b.writeAvail)
 	dur := c.Design.Board.PCIe.ReadTimeUS(bytes)
@@ -180,7 +212,11 @@ func (q *Queue) EnqueueRead(b *Buffer, bytes int) *Event {
 	q.release(end)
 	c.pcieAvail, b.readAvail = end, end
 	c.hostUS = math.Max(c.hostUS, end)
-	return c.record(&Event{Kind: "read", Name: b.Name, QueuedUS: queued, StartUS: start, EndUS: end})
+	ev := c.record(&Event{Kind: "read", Name: b.Name, QueuedUS: queued, StartUS: start, EndUS: end, Corrupt: ferr != nil})
+	if ferr != nil {
+		return ev, ferr
+	}
+	return ev, nil
 }
 
 // KernelCall describes one kernel invocation.
@@ -213,6 +249,9 @@ func (q *Queue) EnqueueKernel(call KernelCall) (*Event, error) {
 		return nil, fmt.Errorf("clrt: kernel %q is autorun; it cannot be enqueued", call.Name)
 	}
 	queued := c.host()
+	if ferr := c.Injector.Enqueue("kernel "+call.Name, queued); ferr != nil {
+		return nil, ferr
+	}
 	start := math.Max(queued, q.gate())
 	start = math.Max(start, c.kernelAvail[call.Name])
 	for _, w := range call.Wait {
@@ -231,6 +270,8 @@ func (q *Queue) EnqueueKernel(call KernelCall) (*Event, error) {
 		}
 	}
 	dur := m.TimeUS(call.Bindings, c.Design.FmaxMHz, c.Design.Board) + dispatchUS
+	stall := c.Injector.Stall("kernel "+call.Name, queued)
+	dur *= stall
 	end := start + dur
 	// A channel consumer cannot finish before its producers have finished
 	// producing (unequal rates stall the pipeline, §4.6).
@@ -254,19 +295,36 @@ func (q *Queue) EnqueueKernel(call KernelCall) (*Event, error) {
 	if c.Profiling {
 		c.hostUS = math.Max(c.hostUS, end)
 	}
-	ev := c.record(&Event{Kind: "kernel", Name: call.Name, QueuedUS: queued, StartUS: start, EndUS: end})
-	c.runAutorun(ev)
+	ev := c.record(&Event{Kind: "kernel", Name: call.Name, QueuedUS: queued, StartUS: start, EndUS: end, Stalled: stall > 1})
+	if err := c.runAutorun(ev); err != nil {
+		return ev, err
+	}
 	return ev, nil
 }
 
 // runAutorun propagates data through autorun kernels downstream of a just-
 // executed producer: they consume from channels as data arrives and publish
 // their own outputs, without any host interaction (§4.7).
-func (c *Context) runAutorun(producer *Event) {
+//
+// The propagation iterates to a fixed point. For any acyclic channel
+// topology the fixed point is reached within one pass per pipeline stage; a
+// cycle through autorun kernels keeps pushing channel timestamps forward
+// forever — on hardware, a design that can never drain. The loop is
+// therefore bounded: exceeding the cap returns ErrChannelDrain instead of
+// hanging the simulator.
+func (c *Context) runAutorun(producer *Event) error {
+	// Any DAG converges in at most one iteration per autorun stage (plus one
+	// to observe quiescence); the slack covers degenerate single-kernel sets.
+	maxIters := 2*len(c.Design.Kernels) + 8
+	iters := 0
 	// Iterate to a fixed point over autorun kernels whose input channels got
 	// fresh data.
 	for changed := true; changed; {
 		changed = false
+		if iters++; iters > maxIters {
+			return fmt.Errorf("design %s: autorun propagation exceeded %d iterations after kernel %s: %w",
+				c.Design.Name, maxIters, producer.Name, ErrChannelDrain)
+		}
 		for _, m := range c.Design.Kernels {
 			if !m.Kernel.Autorun {
 				continue
@@ -309,6 +367,7 @@ func (c *Context) runAutorun(producer *Event) {
 			}
 		}
 	}
+	return nil
 }
 
 // Finish blocks the host until all queues drain (clFinish on every queue).
@@ -327,6 +386,31 @@ func (c *Context) Finish() {
 
 // ElapsedUS is the current simulated host time.
 func (c *Context) ElapsedUS() float64 { return c.hostUS }
+
+// AdvanceHost moves the host cursor forward by us microseconds — the
+// simulated-time equivalent of the host sleeping, used by the resilience
+// layer's retry backoff.
+func (c *Context) AdvanceHost(us float64) {
+	if us > 0 {
+		c.hostUS += us
+	}
+}
+
+// WatchdogExceeded returns the first event starting at or after sinceUS
+// whose execution span exceeds deadlineUS — the watchdog a real host arms on
+// queue completion to catch stalled kernels (which OpenCL never reports as
+// errors). Returns nil when every command met the deadline.
+func (c *Context) WatchdogExceeded(sinceUS, deadlineUS float64) *Event {
+	if deadlineUS <= 0 {
+		return nil
+	}
+	for _, e := range c.events {
+		if e.StartUS >= sinceUS && e.Duration() > deadlineUS {
+			return e
+		}
+	}
+	return nil
+}
 
 // Events returns all recorded events in enqueue order.
 func (c *Context) Events() []*Event { return c.events }

@@ -1,10 +1,12 @@
 package clrt
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/aoc"
+	"repro/internal/fault"
 	"repro/internal/fpga"
 	"repro/internal/ir"
 )
@@ -76,12 +78,18 @@ func TestWriteKernelReadTimeline(t *testing.T) {
 	q := ctx.NewQueue()
 	in := ctx.NewBuffer("in", 4096*4)
 	out := ctx.NewBuffer("out", 4096*4)
-	w := q.EnqueueWrite(in, 4096*4)
+	w, err := q.EnqueueWrite(in, 4096*4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ev, err := q.EnqueueKernel(KernelCall{Name: "k1", Reads: []*Buffer{in}, Writes: []*Buffer{out}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := q.EnqueueRead(out, 4096*4)
+	r, err := q.EnqueueRead(out, 4096*4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx.Finish()
 
 	if w.StartUS >= w.EndUS || ev.StartUS >= ev.EndUS || r.StartUS >= r.EndUS {
@@ -136,14 +144,18 @@ func TestChannelPipelineOverlapsWithConcurrentQueues(t *testing.T) {
 		}
 		a := ctx.NewBuffer("a", 4096*4)
 		dd := ctx.NewBuffer("d", 4096*4)
-		qp.EnqueueWrite(a, 4096*4)
+		if _, err := qp.EnqueueWrite(a, 4096*4); err != nil {
+			t.Fatal(err)
+		}
 		if _, err := qp.EnqueueKernel(KernelCall{Name: "prod", Reads: []*Buffer{a}}); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := qc.EnqueueKernel(KernelCall{Name: "cons", Writes: []*Buffer{dd}}); err != nil {
 			t.Fatal(err)
 		}
-		qc.EnqueueRead(dd, 4096*4)
+		if _, err := qc.EnqueueRead(dd, 4096*4); err != nil {
+			t.Fatal(err)
+		}
 		ctx.Finish()
 		return ctx.ElapsedUS()
 	}
@@ -165,7 +177,7 @@ func TestPipelinedThroughputAcrossImages(t *testing.T) {
 		q1, q2 := ctx.NewQueue(), ctx.NewQueue()
 		a := ctx.NewBuffer("a", 4096*4)
 		dd := ctx.NewBuffer("d", 4096*4)
-		q1.EnqueueWrite(a, 4096*4)
+		q1.EnqueueWrite(a, 4096*4) //nolint:errcheck
 		q1.EnqueueKernel(KernelCall{Name: "prod", Reads: []*Buffer{a}})
 		q2.EnqueueKernel(KernelCall{Name: "cons", Writes: []*Buffer{dd}})
 		ctx.Finish()
@@ -178,7 +190,7 @@ func TestPipelinedThroughputAcrossImages(t *testing.T) {
 	a := ctx.NewBuffer("a", 4096*4)
 	dd := ctx.NewBuffer("d", 4096*4)
 	for i := 0; i < n; i++ {
-		q1.EnqueueWrite(a, 4096*4)
+		q1.EnqueueWrite(a, 4096*4) //nolint:errcheck
 		q1.EnqueueKernel(KernelCall{Name: "prod", Reads: []*Buffer{a}})
 		q2.EnqueueKernel(KernelCall{Name: "cons", Writes: []*Buffer{dd}})
 	}
@@ -200,9 +212,9 @@ func TestProfilingSerializesAndAddsOverhead(t *testing.T) {
 		in := ctx.NewBuffer("in", 4096*4)
 		out := ctx.NewBuffer("out", 4096*4)
 		for i := 0; i < 4; i++ {
-			q.EnqueueWrite(in, 4096*4)
+			q.EnqueueWrite(in, 4096*4) //nolint:errcheck
 			q.EnqueueKernel(KernelCall{Name: "k1", Reads: []*Buffer{in}, Writes: []*Buffer{out}})
-			q.EnqueueRead(out, 4096*4)
+			q.EnqueueRead(out, 4096*4) //nolint:errcheck
 		}
 		ctx.Finish()
 		return ctx.ElapsedUS()
@@ -282,10 +294,10 @@ func TestTimelineRendersLanes(t *testing.T) {
 	ctx, _ := NewContext(d)
 	q := ctx.NewQueue()
 	in := ctx.NewBuffer("in", 8192)
-	q.EnqueueWrite(in, 8192)
+	q.EnqueueWrite(in, 8192) //nolint:errcheck
 	q.EnqueueKernel(KernelCall{Name: "alpha", Reads: []*Buffer{in}})
 	q.EnqueueKernel(KernelCall{Name: "beta"})
-	q.EnqueueRead(in, 8192)
+	q.EnqueueRead(in, 8192) //nolint:errcheck
 	ctx.Finish()
 	tl := ctx.Timeline(40)
 	for _, want := range []string{"kernel alpha", "kernel beta", "write in", "read in", "#", "W", "R"} {
@@ -316,7 +328,7 @@ func TestTimelineSinceFilters(t *testing.T) {
 	ctx, _ := NewContext(d)
 	q := ctx.NewQueue()
 	setup := ctx.NewBuffer("weights", 4096)
-	q.EnqueueWrite(setup, 4096)
+	q.EnqueueWrite(setup, 4096) //nolint:errcheck
 	ctx.Finish()
 	cut := ctx.ElapsedUS()
 	q.EnqueueKernel(KernelCall{Name: "alpha"})
@@ -390,13 +402,114 @@ func TestOutOfOrderQueueStillTracksBufferHazards(t *testing.T) {
 	ctx, _ := NewContext(d)
 	q := ctx.NewOutOfOrderQueue()
 	buf := ctx.NewBuffer("x", 4096*4)
-	w := q.EnqueueWrite(buf, 4096*4)
+	w, err := q.EnqueueWrite(buf, 4096*4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e, err := q.EnqueueKernel(KernelCall{Name: "alpha", Reads: []*Buffer{buf}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if e.StartUS < w.EndUS {
 		t.Fatal("buffer hazard violated on OOO queue")
+	}
+}
+
+func TestInjectedTransferFaultsSurfaceAsErrors(t *testing.T) {
+	k, _, _ := simpleKernel("k1", 1024)
+	d := mustDesign(t, "d", []*ir.Kernel{k})
+	ctx, _ := NewContext(d)
+	ctx.Injector = fault.NewInjector(7, 1.0) // every probe fires
+	q := ctx.NewQueue()
+	in := ctx.NewBuffer("in", 1024*4)
+
+	sawHard, sawCorrupt := false, false
+	for i := 0; i < 16 && !(sawHard && sawCorrupt); i++ {
+		ev, err := q.EnqueueWrite(in, 1024*4)
+		if err == nil {
+			t.Fatal("rate-1 injector must fail every transfer")
+		}
+		var fe *fault.Error
+		if !errors.As(err, &fe) || !fe.Transient {
+			t.Fatalf("want transient *fault.Error, got %v", err)
+		}
+		switch fe.Kind {
+		case fault.TransferFail:
+			sawHard = true
+			if ev != nil {
+				t.Fatal("hard transfer failure must not record an event")
+			}
+		case fault.TransferCorrupt:
+			sawCorrupt = true
+			if ev == nil || !ev.Corrupt {
+				t.Fatalf("corrupt transfer must record a Corrupt event, got %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected fault kind %v", fe.Kind)
+		}
+	}
+	if !sawHard || !sawCorrupt {
+		t.Fatalf("expected both failure modes within 16 draws (hard=%v corrupt=%v)", sawHard, sawCorrupt)
+	}
+	if ctx.Injector.Count() == 0 {
+		t.Fatal("injector ledger must record fired faults")
+	}
+}
+
+func TestInjectedStallTripsWatchdog(t *testing.T) {
+	k, _, _ := simpleKernel("k1", 4096)
+	d := mustDesign(t, "d", []*ir.Kernel{k})
+
+	base := func() float64 {
+		ctx, _ := NewContext(d)
+		q := ctx.NewQueue()
+		ev, err := q.EnqueueKernel(KernelCall{Name: "k1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.Duration()
+	}()
+
+	ctx, _ := NewContext(d)
+	// Rate below 1 so the enqueue probe (checked first) lets some kernels
+	// through to the stall probe.
+	inj := fault.NewInjector(3, 0.5)
+	inj.SetStallFactor(64)
+	ctx.Injector = inj
+	q := ctx.NewQueue()
+	var stalled *Event
+	for i := 0; i < 200; i++ {
+		ev, err := q.EnqueueKernel(KernelCall{Name: "k1"})
+		if err != nil {
+			continue // transient enqueue fault; retry
+		}
+		if ev.Stalled {
+			stalled = ev
+			break
+		}
+	}
+	if stalled == nil {
+		t.Fatal("injector never stalled a kernel in 200 attempts at rate 0.5")
+	}
+	if stalled.Duration() <= base {
+		t.Fatalf("stalled kernel (%v us) must exceed baseline (%v us)", stalled.Duration(), base)
+	}
+	if ctx.WatchdogExceeded(0, base*2) == nil {
+		t.Fatal("watchdog must flag the stalled kernel against a 2x-baseline deadline")
+	}
+	if ctx.WatchdogExceeded(0, 0) != nil {
+		t.Fatal("deadline <= 0 disables the watchdog")
+	}
+}
+
+func TestAdvanceHostMovesCursor(t *testing.T) {
+	k, _, _ := simpleKernel("k1", 64)
+	d := mustDesign(t, "d", []*ir.Kernel{k})
+	ctx, _ := NewContext(d)
+	before := ctx.ElapsedUS()
+	ctx.AdvanceHost(125)
+	if got := ctx.ElapsedUS(); got < before+125 {
+		t.Fatalf("AdvanceHost must move host time: %v -> %v", before, got)
 	}
 }
 
@@ -411,10 +524,10 @@ func TestEventInvariants(t *testing.T) {
 	q := ctx.NewQueue()
 	in := ctx.NewBuffer("in", 8192)
 	for i := 0; i < 5; i++ {
-		q.EnqueueWrite(in, 8192)
+		q.EnqueueWrite(in, 8192) //nolint:errcheck
 		q.EnqueueKernel(KernelCall{Name: "alpha", Reads: []*Buffer{in}})
 		q.EnqueueKernel(KernelCall{Name: "beta"})
-		q.EnqueueRead(in, 8192)
+		q.EnqueueRead(in, 8192) //nolint:errcheck
 	}
 	ctx.Finish()
 	events := ctx.Events()

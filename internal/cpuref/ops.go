@@ -26,6 +26,8 @@ import (
 func Conv2D(in, w, bias *tensor.Tensor, s, p int, relu bool) *tensor.Tensor {
 	c1, h1, w1 := in.Shape[0], in.Shape[1], in.Shape[2]
 	c2, f := w.Shape[0], w.Shape[2]
+	// Invariant, not input validation: every shape reaching cpuref was
+	// produced by relay's shape inference, so a mismatch is a lowering bug.
 	if w.Shape[1] != c1 {
 		panic(fmt.Sprintf("cpuref: conv weights expect %d input channels, got %d", w.Shape[1], c1))
 	}
@@ -107,6 +109,7 @@ func DepthwiseConv2D(in, w, bias *tensor.Tensor, s, p int, relu bool) *tensor.Te
 // Dense computes y = Wx + bias with optional ReLU. in: [N]; w: [M,N].
 func Dense(in, w, bias *tensor.Tensor, relu bool) *tensor.Tensor {
 	m, n := w.Shape[0], w.Shape[1]
+	// Invariant: see Conv2D — shapes are relay-inferred, never external.
 	if in.Len() != n {
 		panic(fmt.Sprintf("cpuref: dense expects input %d, got %d", n, in.Len()))
 	}
@@ -241,6 +244,8 @@ func ConcatChannels(parts ...*tensor.Tensor) *tensor.Tensor {
 	h, w := parts[0].Shape[1], parts[0].Shape[2]
 	c := 0
 	for _, p := range parts {
+		// Invariant: relay.Concat defers a construction error on spatial
+		// mismatch, so parts reaching here always agree.
 		if p.Shape[1] != h || p.Shape[2] != w {
 			panic("cpuref: concat spatial mismatch")
 		}

@@ -449,12 +449,16 @@ func (f *Folded) Run(n int, profiling bool) (*RunResult, error) {
 		if inv.layer.W != nil && inv.op.Weights != nil {
 			b := ctx.NewBuffer(inv.layer.Name+"_w", inv.layer.W.Bytes())
 			weightBufs[inv.layer] = b
-			q.EnqueueWrite(b, inv.layer.W.Bytes())
+			if _, err := q.EnqueueWrite(b, inv.layer.W.Bytes()); err != nil {
+				return nil, err
+			}
 		}
 		if inv.layer.B != nil && inv.op.Bias != nil {
 			b := ctx.NewBuffer(inv.layer.Name+"_b", inv.layer.B.Bytes())
 			biasBufs[inv.layer] = b
-			q.EnqueueWrite(b, inv.layer.B.Bytes())
+			if _, err := q.EnqueueWrite(b, inv.layer.B.Bytes()); err != nil {
+				return nil, err
+			}
 		}
 	}
 	ctx.Finish()
@@ -465,7 +469,9 @@ func (f *Folded) Run(n int, profiling bool) (*RunResult, error) {
 	}
 	start := ctx.ElapsedUS()
 	for img := 0; img < n; img++ {
-		q.EnqueueWrite(input, inBytes)
+		if _, err := q.EnqueueWrite(input, inBytes); err != nil {
+			return nil, err
+		}
 		for _, inv := range f.plan {
 			call := clrt.KernelCall{Name: inv.kernel.Name, Bindings: inv.bindings,
 				Reads: []*clrt.Buffer{devIn(inv.inIdx)}}
@@ -489,7 +495,9 @@ func (f *Folded) Run(n int, profiling bool) (*RunResult, error) {
 			}
 		}
 		last := f.plan[len(f.plan)-1]
-		q.EnqueueRead(devOut(last.outIdx), outBytes)
+		if _, err := q.EnqueueRead(devOut(last.outIdx), outBytes); err != nil {
+			return nil, err
+		}
 	}
 	ctx.Finish()
 	elapsed := ctx.ElapsedUS() - start

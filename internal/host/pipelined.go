@@ -338,10 +338,14 @@ func (p *Pipelined) Run(n int, concurrent, profiling bool) (*RunResult, error) {
 	// Parameters copied once at startup.
 	for _, st := range p.stages {
 		if st.op.Weights != nil {
-			setup.EnqueueWrite(devBuf(st.op.Weights), st.layer.W.Bytes())
+			if _, err := setup.EnqueueWrite(devBuf(st.op.Weights), st.layer.W.Bytes()); err != nil {
+				return nil, err
+			}
 		}
 		if st.op.Bias != nil {
-			setup.EnqueueWrite(devBuf(st.op.Bias), st.layer.B.Bytes())
+			if _, err := setup.EnqueueWrite(devBuf(st.op.Bias), st.layer.B.Bytes()); err != nil {
+				return nil, err
+			}
 		}
 	}
 	ctx.Finish()
@@ -384,7 +388,9 @@ func (p *Pipelined) Run(n int, concurrent, profiling bool) (*RunResult, error) {
 
 	start := ctx.ElapsedUS()
 	for img := 0; img < n; img++ {
-		queueFor(p.stages[0].op.Kernel.Name).EnqueueWrite(devBuf(p.inBuf), inBytes)
+		if _, err := queueFor(p.stages[0].op.Kernel.Name).EnqueueWrite(devBuf(p.inBuf), inBytes); err != nil {
+			return nil, err
+		}
 		for _, st := range p.stages {
 			if st.op.Kernel.Autorun {
 				continue
@@ -408,7 +414,9 @@ func (p *Pipelined) Run(n int, concurrent, profiling bool) (*RunResult, error) {
 				return nil, err
 			}
 		}
-		queueFor(p.stages[len(p.stages)-1].op.Kernel.Name).EnqueueRead(devBuf(p.outBuf), outBytes)
+		if _, err := queueFor(p.stages[len(p.stages)-1].op.Kernel.Name).EnqueueRead(devBuf(p.outBuf), outBytes); err != nil {
+			return nil, err
+		}
 	}
 	ctx.Finish()
 	elapsed := ctx.ElapsedUS() - start

@@ -1,0 +1,576 @@
+// Host-side resilience (§5.2 hardening): bounded retry with backoff for
+// transient OpenCL failures, a watchdog deadline on per-image completion,
+// and a graceful-degradation ladder that falls from the optimized deployment
+// through simpler bitstream variants down to the CPU reference executor,
+// recording every fault, retry and fallback along the way. All timing is
+// simulated clrt time; nothing here sleeps on the wall clock.
+
+package host
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/aoc"
+	"repro/internal/clrt"
+	"repro/internal/fault"
+	"repro/internal/fpga"
+	"repro/internal/ir"
+	"repro/internal/relay"
+	"repro/internal/tensor"
+	"repro/internal/verify"
+)
+
+// RunControl configures the resilient execution path.
+type RunControl struct {
+	// FaultSeed/FaultRate build a deterministic fault.Injector when Injector
+	// is nil. Rate 0 disables injection.
+	FaultSeed int64
+	FaultRate float64
+	// Injector overrides seed/rate with a caller-owned injector (shared
+	// across ladder rungs so the fault sequence and ledger stay contiguous).
+	Injector *fault.Injector
+	// WatchdogUS is the per-image completion deadline in simulated
+	// microseconds; 0 disables the watchdog.
+	WatchdogUS float64
+	// MaxRetries bounds retries per command and per image (default 3).
+	MaxRetries int
+	// BackoffUS is the initial retry backoff in simulated microseconds,
+	// doubled each attempt (default 50).
+	BackoffUS float64
+}
+
+func (c RunControl) withDefaults() RunControl {
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.BackoffUS == 0 {
+		c.BackoffUS = 50
+	}
+	return c
+}
+
+func (c RunControl) injector() *fault.Injector {
+	if c.Injector != nil {
+		return c.Injector
+	}
+	if c.FaultRate <= 0 {
+		return nil
+	}
+	return fault.NewInjector(c.FaultSeed, c.FaultRate)
+}
+
+// Resilience reports what the resilient runner absorbed during one run.
+type Resilience struct {
+	Retries       int
+	WatchdogTrips int
+	Faults        []fault.Record
+}
+
+// retrier wraps enqueue operations in bounded retry-with-backoff. Backoff
+// advances the simulated host cursor, modeling the host spinning between
+// clEnqueue attempts.
+type retrier struct {
+	ctx   *clrt.Context
+	ctrl  RunControl
+	stats *Resilience
+}
+
+func (r *retrier) do(op func() error) error {
+	backoff := r.ctrl.BackoffUS
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if !fault.IsTransient(err) || attempt >= r.ctrl.MaxRetries {
+			return fmt.Errorf("after %d attempt(s): %w", attempt+1, err)
+		}
+		r.stats.Retries++
+		r.ctx.AdvanceHost(backoff)
+		backoff *= 2
+	}
+}
+
+// runImages drives n images through enqueueImage under the watchdog. When a
+// deadline is set, each image is synchronized (clFinish) and checked; a trip
+// re-enqueues the image, up to MaxRetries. Without a deadline images stream
+// back-to-back and pipeline freely.
+func runImages(ctx *clrt.Context, ctrl RunControl, stats *Resilience, n int, enqueueImage func() error) error {
+	for img := 0; img < n; img++ {
+		if ctrl.WatchdogUS <= 0 {
+			if err := enqueueImage(); err != nil {
+				return fmt.Errorf("image %d: %w", img, err)
+			}
+			continue
+		}
+		backoff := ctrl.BackoffUS
+		for attempt := 0; ; attempt++ {
+			imgStart := ctx.ElapsedUS()
+			if err := enqueueImage(); err != nil {
+				return fmt.Errorf("image %d: %w", img, err)
+			}
+			ctx.Finish()
+			ev := ctx.WatchdogExceeded(imgStart, ctrl.WatchdogUS)
+			if ev == nil {
+				break
+			}
+			stats.WatchdogTrips++
+			if attempt >= ctrl.MaxRetries {
+				return fmt.Errorf("image %d: %s %s exceeded the %v us watchdog deadline (%v us) %d time(s)",
+					img, ev.Kind, ev.Name, ctrl.WatchdogUS, ev.Duration(), attempt+1)
+			}
+			ctx.AdvanceHost(backoff)
+			backoff *= 2
+		}
+	}
+	ctx.Finish()
+	return nil
+}
+
+func finishRun(ctx *clrt.Context, inj *fault.Injector, stats *Resilience, n int, start float64) (*RunResult, *Resilience) {
+	if inj != nil {
+		stats.Faults = inj.Records()
+	}
+	elapsed := ctx.ElapsedUS() - start
+	return &RunResult{
+		Images:      n,
+		ElapsedUS:   elapsed,
+		FPS:         float64(n) / elapsed * 1e6,
+		Breakdown:   ctx.Breakdown(),
+		PerKernelUS: ctx.BreakdownByName(),
+		Timeline:    ctx.TimelineSince(72, start),
+	}, stats
+}
+
+// RunResilient is Run with fault injection, bounded retry, and an optional
+// per-image watchdog. It returns the absorbed-fault statistics alongside the
+// usual timing result; an error means the deployment could not complete even
+// with retries (the degradation ladder's cue to fall back).
+func (p *Pipelined) RunResilient(n int, concurrent bool, ctrl RunControl) (*RunResult, *Resilience, error) {
+	ctrl = ctrl.withDefaults()
+	if err := p.Design.Err(); err != nil {
+		return nil, nil, err
+	}
+	ctx, err := clrt.NewContext(p.Design)
+	if err != nil {
+		return nil, nil, err
+	}
+	inj := ctrl.injector()
+	ctx.Injector = inj
+	stats := &Resilience{}
+	r := &retrier{ctx: ctx, ctrl: ctrl, stats: stats}
+
+	bufs := map[*ir.Buffer]*clrt.Buffer{}
+	devBuf := func(b *ir.Buffer) *clrt.Buffer {
+		if b == nil {
+			return nil
+		}
+		if d, ok := bufs[b]; ok {
+			return d
+		}
+		sz, _ := b.ConstLen()
+		d := ctx.NewBuffer(b.Name, int(sz)*4)
+		bufs[b] = d
+		return d
+	}
+
+	setup := ctx.NewQueue()
+	for _, st := range p.stages {
+		for _, pb := range []struct {
+			buf *ir.Buffer
+			t   *tensor.Tensor
+		}{{st.op.Weights, st.layer.W}, {st.op.Bias, st.layer.B}} {
+			if pb.buf == nil {
+				continue
+			}
+			buf, bytes := devBuf(pb.buf), pb.t.Bytes()
+			if err := r.do(func() error { _, e := setup.EnqueueWrite(buf, bytes); return e }); err != nil {
+				return nil, stats, fmt.Errorf("parameter upload %s: %w", pb.buf.Name, err)
+			}
+		}
+	}
+	ctx.Finish()
+
+	queues := map[string]*clrt.Queue{}
+	shared := ctx.NewQueue()
+	queueFor := func(name string) *clrt.Queue {
+		if !concurrent {
+			return shared
+		}
+		if q, ok := queues[name]; ok {
+			return q
+		}
+		q := ctx.NewQueue()
+		queues[name] = q
+		return q
+	}
+
+	inBytes, outBytes := 4, 4
+	for _, d := range p.inShape {
+		inBytes *= d
+	}
+	for _, d := range p.outShape {
+		outBytes *= d
+	}
+	devInOf := func(st *stage) *clrt.Buffer {
+		if st.op.In == nil {
+			return nil
+		}
+		if st.layer.In < 0 {
+			return devBuf(p.inBuf)
+		}
+		return devBuf(p.stages[st.layer.In].op.Out)
+	}
+
+	start := ctx.ElapsedUS()
+	enqueueImage := func() error {
+		inQ := queueFor(p.stages[0].op.Kernel.Name)
+		if err := r.do(func() error { _, e := inQ.EnqueueWrite(devBuf(p.inBuf), inBytes); return e }); err != nil {
+			return fmt.Errorf("input write: %w", err)
+		}
+		for _, st := range p.stages {
+			if st.op.Kernel.Autorun {
+				continue
+			}
+			call := clrt.KernelCall{Name: st.op.Kernel.Name}
+			if in := devInOf(st); in != nil {
+				call.Reads = append(call.Reads, in)
+			}
+			for _, b := range []*ir.Buffer{st.op.Weights, st.op.Bias} {
+				if b != nil {
+					call.Reads = append(call.Reads, devBuf(b))
+				}
+			}
+			for _, b := range st.op.Scratches {
+				call.Writes = append(call.Writes, devBuf(b))
+			}
+			if st.op.Out != nil {
+				call.Writes = append(call.Writes, devBuf(st.op.Out))
+			}
+			q := queueFor(st.op.Kernel.Name)
+			if err := r.do(func() error { _, e := q.EnqueueKernel(call); return e }); err != nil {
+				return fmt.Errorf("kernel %s: %w", call.Name, err)
+			}
+		}
+		outQ := queueFor(p.stages[len(p.stages)-1].op.Kernel.Name)
+		if err := r.do(func() error { _, e := outQ.EnqueueRead(devBuf(p.outBuf), outBytes); return e }); err != nil {
+			return fmt.Errorf("output read: %w", err)
+		}
+		return nil
+	}
+	if err := runImages(ctx, ctrl, stats, n, enqueueImage); err != nil {
+		if inj != nil {
+			stats.Faults = inj.Records()
+		}
+		return nil, stats, err
+	}
+	res, stats := finishRun(ctx, inj, stats, n, start)
+	return res, stats, nil
+}
+
+// RunResilient is the folded counterpart of the pipelined resilient runner.
+func (f *Folded) RunResilient(n int, ctrl RunControl) (*RunResult, *Resilience, error) {
+	ctrl = ctrl.withDefaults()
+	if err := f.Design.Err(); err != nil {
+		return nil, nil, err
+	}
+	ctx, err := clrt.NewContext(f.Design)
+	if err != nil {
+		return nil, nil, err
+	}
+	inj := ctrl.injector()
+	ctx.Injector = inj
+	stats := &Resilience{}
+	r := &retrier{ctx: ctx, ctrl: ctrl, stats: stats}
+	q := ctx.NewQueue()
+
+	inBytes := 4
+	for _, d := range f.inShape {
+		inBytes *= d
+	}
+	input := ctx.NewBuffer("input", inBytes)
+	outBufs := make([]*clrt.Buffer, len(f.Layers))
+	devOut := func(idx int) *clrt.Buffer {
+		if outBufs[idx] == nil {
+			outBufs[idx] = ctx.NewBuffer(fmt.Sprintf("act%d", idx), f.outBytes[idx])
+		}
+		return outBufs[idx]
+	}
+	devIn := func(idx int) *clrt.Buffer {
+		if idx < 0 {
+			return input
+		}
+		return devOut(idx)
+	}
+
+	weightBufs := map[*relay.Layer]*clrt.Buffer{}
+	biasBufs := map[*relay.Layer]*clrt.Buffer{}
+	for _, inv := range f.plan {
+		if inv.layer.W != nil && inv.op.Weights != nil && weightBufs[inv.layer] == nil {
+			b := ctx.NewBuffer(inv.layer.Name+"_w", inv.layer.W.Bytes())
+			weightBufs[inv.layer] = b
+			bytes := inv.layer.W.Bytes()
+			if err := r.do(func() error { _, e := q.EnqueueWrite(b, bytes); return e }); err != nil {
+				return nil, stats, fmt.Errorf("parameter upload %s: %w", inv.layer.Name, err)
+			}
+		}
+		if inv.layer.B != nil && inv.op.Bias != nil && biasBufs[inv.layer] == nil {
+			b := ctx.NewBuffer(inv.layer.Name+"_b", inv.layer.B.Bytes())
+			biasBufs[inv.layer] = b
+			bytes := inv.layer.B.Bytes()
+			if err := r.do(func() error { _, e := q.EnqueueWrite(b, bytes); return e }); err != nil {
+				return nil, stats, fmt.Errorf("parameter upload %s: %w", inv.layer.Name, err)
+			}
+		}
+	}
+	ctx.Finish()
+
+	outBytes := 4
+	for _, d := range f.outShape {
+		outBytes *= d
+	}
+	start := ctx.ElapsedUS()
+	enqueueImage := func() error {
+		if err := r.do(func() error { _, e := q.EnqueueWrite(input, inBytes); return e }); err != nil {
+			return fmt.Errorf("input write: %w", err)
+		}
+		for _, inv := range f.plan {
+			call := clrt.KernelCall{Name: inv.kernel.Name, Bindings: inv.bindings,
+				Reads: []*clrt.Buffer{devIn(inv.inIdx)}}
+			if b := weightBufs[inv.layer]; b != nil {
+				call.Reads = append(call.Reads, b)
+			}
+			if b := biasBufs[inv.layer]; b != nil {
+				call.Reads = append(call.Reads, b)
+			}
+			if inv.skipIdx >= 0 || (inv.layer.HasSkip && inv.skipIdx == -1) {
+				call.Reads = append(call.Reads, devIn(inv.skipIdx))
+			}
+			for _, sc := range inv.op.Scratches {
+				if nn, ok := sc.ConstLen(); ok {
+					call.Writes = append(call.Writes, ctx.NewBuffer(sc.Name, int(nn)*4))
+				}
+			}
+			call.Writes = append(call.Writes, devOut(inv.outIdx))
+			if err := r.do(func() error { _, e := q.EnqueueKernel(call); return e }); err != nil {
+				return fmt.Errorf("kernel %s (layer %s): %w", call.Name, inv.layer.Name, err)
+			}
+		}
+		last := f.plan[len(f.plan)-1]
+		if err := r.do(func() error { _, e := q.EnqueueRead(devOut(last.outIdx), outBytes); return e }); err != nil {
+			return fmt.Errorf("output read: %w", err)
+		}
+		return nil
+	}
+	if err := runImages(ctx, ctrl, stats, n, enqueueImage); err != nil {
+		if inj != nil {
+			stats.Faults = inj.Records()
+		}
+		return nil, stats, err
+	}
+	res, stats := finishRun(ctx, inj, stats, n, start)
+	return res, stats, nil
+}
+
+// Deployment is a built accelerator deployment the degradation ladder can
+// drive: functional inference for output checking, resilient timed
+// execution, and enough introspection to verify the kernel set.
+type Deployment interface {
+	Infer(input *tensor.Tensor) (*tensor.Tensor, error)
+	Resilient(n int, ctrl RunControl) (*RunResult, *Resilience, error)
+	KernelSet() []*ir.Kernel
+	DesignErr() error
+}
+
+// Resilient implements Deployment (pipelined deployments always use
+// concurrent queues on the ladder; serial execution is a benchmarking mode,
+// not a deployment mode).
+func (p *Pipelined) Resilient(n int, ctrl RunControl) (*RunResult, *Resilience, error) {
+	return p.RunResilient(n, true, ctrl)
+}
+
+// KernelSet implements Deployment.
+func (p *Pipelined) KernelSet() []*ir.Kernel { return designKernels(p.Design) }
+
+// DesignErr implements Deployment.
+func (p *Pipelined) DesignErr() error { return p.Design.Err() }
+
+// Resilient implements Deployment.
+func (f *Folded) Resilient(n int, ctrl RunControl) (*RunResult, *Resilience, error) {
+	return f.RunResilient(n, ctrl)
+}
+
+// KernelSet implements Deployment.
+func (f *Folded) KernelSet() []*ir.Kernel { return designKernels(f.Design) }
+
+// DesignErr implements Deployment.
+func (f *Folded) DesignErr() error { return f.Design.Err() }
+
+func designKernels(d *aoc.Design) []*ir.Kernel {
+	ks := make([]*ir.Kernel, len(d.Kernels))
+	for i, m := range d.Kernels {
+		ks[i] = m.Kernel
+	}
+	return ks
+}
+
+// Rung is one candidate deployment on the degradation ladder, ordered most
+// to least optimized. Build is called lazily: lower rungs cost nothing
+// unless an upper rung fails.
+type Rung struct {
+	Name  string
+	Build func() (Deployment, error)
+}
+
+// Fallback records one step down the ladder and why it was taken.
+type Fallback struct {
+	From   string
+	Reason string
+}
+
+// ResilientReport is the full outcome of a ladder run: which rung finally
+// served, the output it produced, and everything absorbed on the way.
+type ResilientReport struct {
+	Net    string
+	Mode   string // rung name, or "cpuref" when fully degraded
+	Output *tensor.Tensor
+	// Run is the timed result of the serving rung; nil when degraded to the
+	// CPU reference (which has no device timeline).
+	Run           *RunResult
+	Faults        []fault.Record
+	Fallbacks     []Fallback
+	Retries       int
+	WatchdogTrips int
+	Degraded      bool
+}
+
+// Summary renders the report for humans.
+func (r *ResilientReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: served by %s", r.Net, r.Mode)
+	if r.Run != nil {
+		fmt.Fprintf(&b, " (%d image(s), %.0f us, %.1f FPS)", r.Run.Images, r.Run.ElapsedUS, r.Run.FPS)
+	}
+	fmt.Fprintf(&b, "\n  retries=%d watchdog_trips=%d faults=%d degraded=%v\n",
+		r.Retries, r.WatchdogTrips, len(r.Faults), r.Degraded)
+	if len(r.Faults) > 0 {
+		byKind := map[string]int{}
+		var order []string
+		for _, f := range r.Faults {
+			if byKind[f.Kind.String()] == 0 {
+				order = append(order, f.Kind.String())
+			}
+			byKind[f.Kind.String()]++
+		}
+		b.WriteString("  injected: ")
+		for i, k := range order {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s x%d", k, byKind[k])
+		}
+		b.WriteString("\n")
+	}
+	for _, f := range r.Fallbacks {
+		fmt.Fprintf(&b, "  fell back from %s: %s\n", f.From, f.Reason)
+	}
+	return b.String()
+}
+
+// RunLadder walks the rungs most-optimized first. A rung serves only if it
+// builds, fits, passes static channel verification, produces output matching
+// the CPU reference, and completes a timed resilient run of n images. Any
+// failure records a Fallback and tries the next rung; when every rung fails
+// the CPU reference executor serves the answer, so the ladder never returns
+// an inference failure for a network the reference can run.
+func RunLadder(net string, layers []*relay.Layer, rungs []Rung, input *tensor.Tensor, n int, ctrl RunControl) (*ResilientReport, error) {
+	ctrl = ctrl.withDefaults()
+	if ctrl.Injector == nil {
+		ctrl.Injector = ctrl.injector() // share one ledger across rungs
+	}
+	want, err := relay.Execute(layers, input)
+	if err != nil {
+		return nil, fmt.Errorf("host: reference execution failed, nothing to degrade to: %w", err)
+	}
+
+	rep := &ResilientReport{Net: net}
+	fail := func(rung Rung, reason string) {
+		rep.Fallbacks = append(rep.Fallbacks, Fallback{From: rung.Name, Reason: reason})
+	}
+	for _, rung := range rungs {
+		dep, err := rung.Build()
+		if err != nil {
+			fail(rung, fmt.Sprintf("build failed: %v", err))
+			continue
+		}
+		if err := dep.DesignErr(); err != nil {
+			fail(rung, fmt.Sprintf("does not fit/route: %v", err))
+			continue
+		}
+		if err := verify.Kernels(dep.KernelSet()).Err(); err != nil {
+			fail(rung, fmt.Sprintf("static channel verification rejected the design: %v", err))
+			continue
+		}
+		out, err := dep.Infer(input)
+		if err != nil {
+			fail(rung, fmt.Sprintf("functional execution failed: %v", err))
+			continue
+		}
+		if out.ArgMax() != want.ArgMax() || tensor.MaxAbsDiff(out, want) > 1e-3 {
+			fail(rung, fmt.Sprintf("output mismatch vs reference (max |diff| %.2e)", tensor.MaxAbsDiff(out, want)))
+			continue
+		}
+		run, stats, err := dep.Resilient(n, ctrl)
+		if stats != nil {
+			rep.Retries += stats.Retries
+			rep.WatchdogTrips += stats.WatchdogTrips
+		}
+		if err != nil {
+			fail(rung, fmt.Sprintf("timed run failed despite retries: %v", err))
+			continue
+		}
+		rep.Mode, rep.Output, rep.Run = rung.Name, out, run
+		rep.Degraded = len(rep.Fallbacks) > 0
+		if ctrl.Injector != nil {
+			rep.Faults = ctrl.Injector.Records()
+		}
+		return rep, nil
+	}
+
+	// Fully degraded: serve from the CPU reference executor.
+	rep.Mode, rep.Output, rep.Degraded = "cpuref", want, true
+	if ctrl.Injector != nil {
+		rep.Faults = ctrl.Injector.Records()
+	}
+	return rep, nil
+}
+
+// PipelinedLadder builds the standard pipelined degradation ladder:
+// the fully optimized autorun deployment, then channels without autorun,
+// then the naive base bitstream.
+func PipelinedLadder(layers []*relay.Layer, board *fpga.Board, opts aoc.Options) []Rung {
+	mk := func(v PipeVariant) Rung {
+		return Rung{
+			Name: "pipelined-" + v.String(),
+			Build: func() (Deployment, error) {
+				return BuildPipelined(layers, v, board, opts)
+			},
+		}
+	}
+	return []Rung{mk(PipeTVMAutorun), mk(PipeChannels), mk(PipeBase)}
+}
+
+// FoldedLadder builds the folded degradation ladder: the tuned configuration
+// first, then the untuned parameterized kernel set (vector width 1
+// everywhere), which uses far less area.
+func FoldedLadder(layers []*relay.Layer, tuned FoldedConfig, board *fpga.Board, opts aoc.Options) []Rung {
+	return []Rung{
+		{Name: "folded-tuned", Build: func() (Deployment, error) {
+			return BuildFolded(layers, tuned, board, opts)
+		}},
+		{Name: "folded-untuned", Build: func() (Deployment, error) {
+			return BuildFolded(layers, FoldedConfig{Workaround: true}, board, opts)
+		}},
+	}
+}

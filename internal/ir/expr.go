@@ -318,5 +318,6 @@ func SubstVar(e Expr, v *Var, repl Expr) Expr {
 	case *Select:
 		return &Select{Cond: SubstVar(x.Cond, v, repl), A: SubstVar(x.A, v, repl), B: SubstVar(x.B, v, repl)}
 	}
+	// Invariant: exhaustive over the package's own expression kinds.
 	panic(fmt.Sprintf("ir: unknown expr %T", e))
 }

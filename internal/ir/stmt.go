@@ -344,6 +344,7 @@ func SubstStmt(s Stmt, v *Var, repl Expr) Stmt {
 	case *IfThen:
 		return &IfThen{Cond: SubstVar(x.Cond, v, repl), Then: SubstStmt(x.Then, v, repl), Else: SubstStmt(x.Else, v, repl)}
 	}
+	// Invariant: exhaustive over the package's own statement kinds.
 	panic(fmt.Sprintf("ir: unknown stmt %T", s))
 }
 

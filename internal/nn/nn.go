@@ -223,6 +223,8 @@ var digitFont = [10][7]uint8{
 // Digit renders digit d (0-9) as a 1x28x28 MNIST-style image: the 5x7 glyph
 // upscaled 3x and centered, values in [0,1].
 func Digit(d int) *tensor.Tensor {
+	// Invariant: callers pass literal digits (tests, benchmarks); no CLI path
+	// feeds this from user input.
 	if d < 0 || d > 9 {
 		panic(fmt.Sprintf("nn: digit out of range: %d", d))
 	}

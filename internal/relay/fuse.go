@@ -53,6 +53,9 @@ func Lower(g *Graph) ([]*Layer, error) {
 	if g.Output == nil {
 		return nil, fmt.Errorf("relay: empty graph")
 	}
+	if err := g.Err(); err != nil {
+		return nil, fmt.Errorf("relay: graph construction failed: %w", err)
+	}
 	var layers []*Layer
 	layerOf := map[*Node]int{}
 	consumers := map[*Node]int{}

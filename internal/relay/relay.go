@@ -94,10 +94,25 @@ type Node struct {
 type Graph struct {
 	Nodes  []*Node
 	Output *Node
+
+	// err records the first construction mistake (shape mismatch, empty
+	// output, ...). Builder methods keep returning usable nodes so fluent
+	// construction chains don't need per-call error checks; Lower surfaces
+	// the deferred error before any kernel is generated.
+	err error
 }
 
 // NewGraph creates an empty graph.
 func NewGraph() *Graph { return &Graph{} }
+
+// Err returns the first graph-construction error, or nil.
+func (g *Graph) Err() error { return g.err }
+
+func (g *Graph) fail(format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf(format, args...)
+	}
+}
 
 func (g *Graph) add(n *Node) *Node {
 	n.ID = len(g.Nodes)
@@ -131,7 +146,8 @@ func (g *Graph) Conv(x *Node, name string, c2, f, s, p int) *Node {
 	h2 := (in[1]-f)/s + 1
 	w2 := (in[2]-f)/s + 1
 	if h2 < 1 || w2 < 1 {
-		panic(fmt.Sprintf("relay: conv %s output empty", name))
+		g.fail("relay: conv %s output empty (input %v, filter %d, stride %d)", name, in, f, s)
+		h2, w2 = 1, 1
 	}
 	return g.add(&Node{Kind: KConv, Name: name, Inputs: []*Node{x},
 		C2: c2, F: f, S: s, OutShape: []int{c2, h2, w2}})
@@ -169,7 +185,7 @@ func (g *Graph) ReLU6(x *Node) *Node {
 // Add adds a residual connection a+b.
 func (g *Graph) Add(a, b *Node) *Node {
 	if fmt.Sprint(a.OutShape) != fmt.Sprint(b.OutShape) {
-		panic(fmt.Sprintf("relay: add shape mismatch %v vs %v", a.OutShape, b.OutShape))
+		g.fail("relay: add shape mismatch %v vs %v", a.OutShape, b.OutShape)
 	}
 	return g.add(&Node{Kind: KAdd, Inputs: []*Node{a, b}, OutShape: a.OutShape})
 }
@@ -177,14 +193,19 @@ func (g *Graph) Add(a, b *Node) *Node {
 // Concat concatenates two or more feature maps along the channel axis; the
 // spatial dims must match.
 func (g *Graph) Concat(xs ...*Node) *Node {
+	if len(xs) == 0 {
+		g.fail("relay: concat needs at least two inputs")
+		return g.add(&Node{Kind: KConcat, OutShape: []int{1, 1, 1}})
+	}
 	if len(xs) < 2 {
-		panic("relay: concat needs at least two inputs")
+		g.fail("relay: concat needs at least two inputs")
 	}
 	h, w := xs[0].OutShape[1], xs[0].OutShape[2]
 	c := 0
 	for _, x := range xs {
 		if x.OutShape[1] != h || x.OutShape[2] != w {
-			panic(fmt.Sprintf("relay: concat spatial mismatch %v vs %v", xs[0].OutShape, x.OutShape))
+			g.fail("relay: concat spatial mismatch %v vs %v", xs[0].OutShape, x.OutShape)
+			continue
 		}
 		c += x.OutShape[0]
 	}
@@ -221,7 +242,7 @@ func (g *Graph) Flatten(x *Node) *Node {
 // Dense adds a fully-connected layer with units outputs.
 func (g *Graph) Dense(x *Node, name string, units int) *Node {
 	if len(x.OutShape) != 1 {
-		panic("relay: dense requires flattened input")
+		g.fail("relay: dense %s requires flattened input, got shape %v", name, x.OutShape)
 	}
 	return g.add(&Node{Kind: KDense, Name: name, Inputs: []*Node{x}, Units: units,
 		OutShape: []int{units}})

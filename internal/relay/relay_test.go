@@ -184,16 +184,49 @@ func TestParamsAndFLOPs(t *testing.T) {
 	}
 }
 
-func TestAddShapeMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
+func TestAddShapeMismatchDefersError(t *testing.T) {
 	g := NewGraph()
 	a := g.Input(2, 4, 4)
 	b := g.Conv(a, "c", 3, 3, 1, 1)
-	g.Add(a, b)
+	g.Add(a, b) // shape mismatch: must not panic, must poison the graph
+	g.Softmax(g.Output)
+	if g.Err() == nil || !strings.Contains(g.Err().Error(), "add shape mismatch") {
+		t.Fatalf("want deferred add-shape error, got %v", g.Err())
+	}
+	g.InitWeights(1)
+	if _, err := Lower(g); err == nil || !strings.Contains(err.Error(), "add shape mismatch") {
+		t.Fatalf("Lower must surface the construction error, got %v", err)
+	}
+}
+
+func TestGraphErrKeepsFirstCause(t *testing.T) {
+	g := NewGraph()
+	x := g.Input(1, 2, 2)
+	g.Conv(x, "tiny", 4, 5, 1, 0) // 2x2 input, 5x5 filter: empty output
+	y := g.Conv(g.Output, "n", 2, 1, 1, 0)
+	g.Dense(y, "fc", 3) // unflattened input: second error
+	if g.Err() == nil || !strings.Contains(g.Err().Error(), "output empty") {
+		t.Fatalf("Err must keep the first cause, got %v", g.Err())
+	}
+	if _, err := Lower(g); err == nil {
+		t.Fatal("Lower must reject a poisoned graph")
+	}
+}
+
+func TestConcatConstructionErrors(t *testing.T) {
+	g := NewGraph()
+	a := g.Input(2, 4, 4)
+	g.Concat(a) // single input
+	if g.Err() == nil || !strings.Contains(g.Err().Error(), "two inputs") {
+		t.Fatalf("want concat arity error, got %v", g.Err())
+	}
+	g2 := NewGraph()
+	x := g2.Input(2, 4, 4)
+	y := g2.MaxPool(x, 2, 2, 0) // 2x2x2: spatial mismatch with x
+	g2.Concat(x, y)
+	if g2.Err() == nil || !strings.Contains(g2.Err().Error(), "spatial mismatch") {
+		t.Fatalf("want concat spatial error, got %v", g2.Err())
+	}
 }
 
 func TestExecuteDeterministic(t *testing.T) {

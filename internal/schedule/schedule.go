@@ -364,6 +364,7 @@ func replaceBuffer(s ir.Stmt, old, repl *ir.Buffer) ir.Stmt {
 		return &ir.IfThen{Cond: replaceBufferExpr(x.Cond, old, repl),
 			Then: replaceBuffer(x.Then, old, repl), Else: replaceBuffer(x.Else, old, repl)}
 	}
+	// Invariant: exhaustive over ir statement kinds (see aoc/analyze.go).
 	panic(fmt.Sprintf("schedule: unknown stmt %T", s))
 }
 
@@ -395,5 +396,6 @@ func replaceBufferExpr(e ir.Expr, old, repl *ir.Buffer) ir.Expr {
 		return &ir.Select{Cond: replaceBufferExpr(x.Cond, old, repl),
 			A: replaceBufferExpr(x.A, old, repl), B: replaceBufferExpr(x.B, old, repl)}
 	}
+	// Invariant: exhaustive over ir expression kinds.
 	panic(fmt.Sprintf("schedule: unknown expr %T", e))
 }

@@ -149,7 +149,7 @@ func (c *compiler) floatFn(x ir.Expr) floatFn {
 		return func(*cenv) float32 {
 			val, ok := fifo.Pop()
 			if !ok {
-				panic(fmt.Sprintf("read from empty channel %s (deadlock on hardware)", name))
+				panic(deadlockPanic{channel: name})
 			}
 			return val
 		}

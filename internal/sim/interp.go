@@ -12,11 +12,52 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/ir"
 )
+
+// ErrChannelDeadlock marks executions that would hang on hardware: a kernel
+// reading an empty channel, or a finished graph leaving undrained channel
+// values (producer/consumer trip-count mismatch, §4.6). Callers assert on it
+// with errors.Is; the static checker in internal/verify rejects most such
+// designs before they ever reach execution.
+var ErrChannelDeadlock = errors.New("channel deadlock")
+
+// DeadlockError carries the offending channel. It wraps ErrChannelDeadlock.
+type DeadlockError struct {
+	Channel string
+	// Undrained is the leftover value count for drain failures; 0 means an
+	// underflow (read from empty channel).
+	Undrained int
+}
+
+func (e *DeadlockError) Error() string {
+	if e.Undrained > 0 {
+		return fmt.Sprintf("channel %s holds %d undrained values after graph execution (deadlock on hardware)", e.Channel, e.Undrained)
+	}
+	return fmt.Sprintf("read from empty channel %s (deadlock on hardware)", e.Channel)
+}
+
+func (e *DeadlockError) Unwrap() error { return ErrChannelDeadlock }
+
+// deadlockPanic is the panic payload the interpreter and closure compiler
+// throw on channel underflow deep inside expression evaluation; Run and
+// RunInterp recover it into a typed *DeadlockError.
+type deadlockPanic struct{ channel string }
+
+// recoverRunErr converts an execution panic into the error Run returns:
+// channel underflows become typed deadlock errors, everything else (bounds
+// violations, unbound buffers) keeps the generic fault message a real OpenCL
+// run would surface.
+func recoverRunErr(kernel string, r any) error {
+	if d, ok := r.(deadlockPanic); ok {
+		return fmt.Errorf("kernel %s: %w", kernel, &DeadlockError{Channel: d.channel})
+	}
+	return fmt.Errorf("kernel %s: %v", kernel, r)
+}
 
 // Fifo is a channel's runtime state: an unbounded float queue. Functional
 // interpretation runs producers before consumers, so depth limits (which only
@@ -98,7 +139,7 @@ func (m *Machine) Channel(ch *ir.Channel) *Fifo {
 func (m *Machine) Run(k *ir.Kernel, scalars map[*ir.Var]int64) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("kernel %s: %v", k.Name, r)
+			err = recoverRunErr(k.Name, r)
 		}
 	}()
 	if err := m.precheck(k, scalars); err != nil {
@@ -128,7 +169,7 @@ func (m *Machine) Run(k *ir.Kernel, scalars map[*ir.Var]int64) (err error) {
 func (m *Machine) RunInterp(k *ir.Kernel, scalars map[*ir.Var]int64) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("kernel %s: %v", k.Name, r)
+			err = recoverRunErr(k.Name, r)
 		}
 	}()
 	if err := m.precheck(k, scalars); err != nil {
@@ -180,7 +221,7 @@ func (m *Machine) RunGraph(ks []*ir.Kernel, scalars map[*ir.Var]int64) error {
 	// producer/consumer count mismatch (a hang on hardware).
 	for ch, f := range m.chans {
 		if f.Len() != 0 {
-			return fmt.Errorf("channel %s holds %d undrained values after graph execution", ch.Name, f.Len())
+			return &DeadlockError{Channel: ch.Name, Undrained: f.Len()}
 		}
 	}
 	return nil
@@ -313,7 +354,7 @@ func (e *env) evalF(x ir.Expr) float32 {
 	case *ir.ChannelRead:
 		val, ok := e.m.Channel(v.Ch).Pop()
 		if !ok {
-			panic(fmt.Sprintf("read from empty channel %s (deadlock on hardware)", v.Ch.Name))
+			panic(deadlockPanic{channel: v.Ch.Name})
 		}
 		return val
 	case *ir.Binary:

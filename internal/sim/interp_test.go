@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -184,6 +185,13 @@ func TestChannelUnderflow(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "empty channel") {
 		t.Fatalf("want underflow error, got %v", err)
 	}
+	if !errors.Is(err, ErrChannelDeadlock) {
+		t.Fatalf("underflow must wrap ErrChannelDeadlock, got %v", err)
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) || de.Channel != "c" || de.Undrained != 0 {
+		t.Fatalf("want DeadlockError for channel c, got %#v", de)
+	}
 }
 
 func TestGraphUndrainedChannel(t *testing.T) {
@@ -197,6 +205,13 @@ func TestGraphUndrainedChannel(t *testing.T) {
 	err := m.RunGraph([]*ir.Kernel{kA}, nil)
 	if err == nil || !strings.Contains(err.Error(), "undrained") {
 		t.Fatalf("want undrained error, got %v", err)
+	}
+	if !errors.Is(err, ErrChannelDeadlock) {
+		t.Fatalf("undrained channels must wrap ErrChannelDeadlock, got %v", err)
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) || de.Channel != "c" || de.Undrained != 2 {
+		t.Fatalf("want DeadlockError{c, 2}, got %#v", de)
 	}
 }
 

@@ -11,6 +11,11 @@ import (
 )
 
 // Tensor is a dense row-major float32 array with an explicit shape.
+//
+// Shape and index violations panic, mirroring Go's own slice semantics: every
+// shape flowing in here comes from relay's shape inference or a literal in
+// code, never from external input, so a violation is a bug in the caller —
+// not a condition to handle.
 type Tensor struct {
 	Shape []int
 	Data  []float32
