@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench chaos fmt
+.PHONY: all build test race lint bench chaos trace fmt
 
 all: lint build test
 
@@ -14,9 +14,10 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages: the parallel design-space explorer, the
-# deployment builders it calls into, and the runtime event queue.
+# deployment builders it calls into, the runtime event queue, and the metrics
+# registry the retried images publish into.
 race:
-	$(GO) test -race ./internal/dse/... ./internal/host/... ./internal/clrt/...
+	$(GO) test -race ./internal/dse/... ./internal/host/... ./internal/clrt/... ./internal/trace/...
 
 lint:
 	@unformatted=$$(gofmt -l .); \
@@ -40,6 +41,16 @@ chaos:
 	for seed in 1 2 3; do \
 		$(GO) run ./cmd/fpgacnn chaos -fault-rate 0.1 -fault-seed $$seed -images 3 || exit 1; \
 	done
+
+# Trace smoke: export Chrome traces for both networks twice and require the
+# repeats to be byte-identical (the exporter's determinism contract).
+trace:
+	$(GO) run ./cmd/fpgacnn trace -net lenet5 -images 4 -o /tmp/lenet5.trace.json
+	$(GO) run ./cmd/fpgacnn trace -net lenet5 -images 4 -o /tmp/lenet5.trace2.json
+	cmp /tmp/lenet5.trace.json /tmp/lenet5.trace2.json
+	$(GO) run ./cmd/fpgacnn trace -net mobilenetv1 -images 2 -o /tmp/mobilenet.trace.json
+	$(GO) run ./cmd/fpgacnn trace -net mobilenetv1 -images 2 -o /tmp/mobilenet.trace2.json
+	cmp /tmp/mobilenet.trace.json /tmp/mobilenet.trace2.json
 
 fmt:
 	gofmt -w .

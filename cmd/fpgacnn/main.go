@@ -13,6 +13,9 @@
 //	                             # run the degradation ladder under fault injection
 //	fpgacnn dse [-dse-workers N] [-dse-timeout D] [-dse-max N]
 //	                             # parallel design-space exploration
+//	fpgacnn run -net <net> [-images N] [-metrics] [-trace F]
+//	                             # timed run with optional metrics/trace export
+//	fpgacnn trace -o trace.json  # timed run, exported as a Chrome trace
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 
 	"repro/internal/aoc"
 	"repro/internal/bench"
+	"repro/internal/clrt"
 	"repro/internal/codegen"
 	"repro/internal/dse"
 	"repro/internal/fpga"
@@ -32,6 +36,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/relay"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 	"repro/internal/verify"
 )
 
@@ -69,6 +74,10 @@ func main() {
 		err = runChaos(os.Args[2:])
 	case "dse":
 		err = runDSE(os.Args[2:])
+	case "run":
+		err = runTimed(os.Args[2:])
+	case "trace":
+		err = runTrace(os.Args[2:])
 	default:
 		var rep string
 		rep, err = bench.Run(cmd)
@@ -91,8 +100,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fpgacnn <command>
   list | all | <experiment> | codegen <net> | hostgen <net> | report <net> <board> |
   timeline <net> <board> | graph <net> | verify |
-  chaos [-fault-seed N] [-fault-rate P] [-watchdog-us D] [-images N] |
-  dse [-dse-workers N] [-dse-timeout D] [-dse-max N]`)
+  run [-net N] [-board B] [-images N] [-serial] [-profiling] [-metrics] [-trace F] |
+  trace [-net N] [-board B] [-images N] [-o F] [-metrics] |
+  chaos [-fault-seed N] [-fault-rate P] [-watchdog-us D] [-images N] [-metrics] [-trace F] |
+  dse [-dse-workers N] [-dse-timeout D] [-dse-max N] [-metrics]`)
 }
 
 // runDSE drives the parallel design-space explorer experiment with explicit
@@ -102,6 +113,7 @@ func runDSE(args []string) error {
 	workers := fs.Int("dse-workers", 0, "evaluation workers (0 = GOMAXPROCS)")
 	timeout := fs.Duration("dse-timeout", 0, "bound on search wall-time (0 = none)")
 	maxCand := fs.Int("dse-max", 0, "candidate budget per board (0 = default)")
+	metrics := fs.Bool("metrics", false, "print the metrics dump after the search")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,11 +123,163 @@ func runDSE(args []string) error {
 		defer cancel()
 		opts.Ctx = ctx
 	}
+	if *metrics {
+		opts.Metrics = trace.NewRegistry()
+	}
 	_, rep, err := bench.DSEExperiment(opts)
 	if err != nil {
 		return err
 	}
 	fmt.Print(rep)
+	if *metrics {
+		fmt.Println("\n== metrics ==")
+		fmt.Print(opts.Metrics.DumpText())
+	}
+	return nil
+}
+
+// buildRunner resolves a network/board to a traced-run closure: pipelined
+// for LeNet-5 (the thesis's channel pipeline), folded for everything else.
+func buildRunner(net, boardName string, concurrent, profiling bool) (func(n int, tc *trace.Collector) (*host.RunResult, error), error) {
+	board, err := fpga.ByName(boardName)
+	if err != nil {
+		return nil, err
+	}
+	g, err := nn.ByName(net)
+	if err != nil {
+		return nil, err
+	}
+	layers, err := relay.Lower(g)
+	if err != nil {
+		return nil, err
+	}
+	if net == "lenet5" {
+		p, err := host.BuildPipelined(layers, host.PipeTVMAutorun, board, aoc.DefaultOptions)
+		if err != nil {
+			return nil, err
+		}
+		return func(n int, tc *trace.Collector) (*host.RunResult, error) {
+			return p.RunTraced(n, concurrent, profiling, tc)
+		}, nil
+	}
+	cfg, err := bench.FoldedConfigFor(net, board)
+	if err != nil {
+		return nil, err
+	}
+	f, err := host.BuildFolded(layers, cfg, board, aoc.DefaultOptions)
+	if err != nil {
+		return nil, err
+	}
+	return func(n int, tc *trace.Collector) (*host.RunResult, error) {
+		return f.RunTraced(n, profiling, tc)
+	}, nil
+}
+
+// printRunResult reports a timed run with the map-keyed sections (time by
+// event kind, time by kernel) in sorted order, so output is deterministic.
+func printRunResult(name string, r *host.RunResult) {
+	fmt.Printf("%s: %d image(s), %.1f us simulated, %.1f FPS\n", name, r.Images, r.ElapsedUS, r.FPS)
+	fmt.Println("  time by kind:")
+	for _, k := range clrt.SortedKinds(r.Breakdown) {
+		fmt.Printf("    %-10s %10.1f us\n", k, r.Breakdown[k])
+	}
+	fmt.Println("  time by kernel:")
+	for _, k := range clrt.SortedKinds(r.PerKernelUS) {
+		fmt.Printf("    %-14s %10.1f us\n", k, r.PerKernelUS[k])
+	}
+	fmt.Print(r.Timeline)
+}
+
+// writeChromeTrace writes the collected trace to path ("-" = stdout).
+func writeChromeTrace(tc *trace.Collector, path string) error {
+	if path == "-" {
+		return tc.WriteChromeTrace(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tc.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runTimed is the plain timed-run subcommand with optional observability:
+// -metrics prints the registry dump, -trace exports a Chrome trace.
+func runTimed(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	net := fs.String("net", "lenet5", "network (see fpgacnn list)")
+	boardName := fs.String("board", "S10SX", "target board")
+	images := fs.Int("images", 3, "images to classify")
+	serial := fs.Bool("serial", false, "single shared command queue (pipelined nets only)")
+	profiling := fs.Bool("profiling", false, "enable the OpenCL event profiler (serializes execution)")
+	metrics := fs.Bool("metrics", false, "print the metrics dump after the run")
+	traceOut := fs.String("trace", "", "write a Chrome trace JSON to this path (\"-\" = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	run, err := buildRunner(*net, *boardName, !*serial, *profiling)
+	if err != nil {
+		return err
+	}
+	var tc *trace.Collector
+	if *metrics || *traceOut != "" {
+		tc = trace.NewCollector()
+	}
+	r, err := run(*images, tc)
+	if err != nil {
+		return err
+	}
+	printRunResult(*net, r)
+	if *traceOut != "" {
+		if err := writeChromeTrace(tc, *traceOut); err != nil {
+			return err
+		}
+		if *traceOut != "-" {
+			fmt.Printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n", *traceOut)
+		}
+	}
+	if *metrics {
+		fmt.Println("\n== metrics ==")
+		fmt.Print(tc.Metrics().DumpText())
+	}
+	return nil
+}
+
+// runTrace runs a deployment and exports the Chrome trace — the
+// machine-readable counterpart of the `timeline` subcommand. The output is
+// byte-identical across repeated runs (the simulation is deterministic and
+// the exporter orders everything canonically).
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	net := fs.String("net", "lenet5", "network (see fpgacnn list)")
+	boardName := fs.String("board", "S10SX", "target board")
+	images := fs.Int("images", 3, "images to classify")
+	out := fs.String("o", "trace.json", "output path for the Chrome trace JSON (\"-\" = stdout)")
+	metrics := fs.Bool("metrics", false, "print the metrics dump after the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	run, err := buildRunner(*net, *boardName, true, false)
+	if err != nil {
+		return err
+	}
+	tc := trace.NewCollector()
+	if _, err := run(*images, tc); err != nil {
+		return err
+	}
+	if err := writeChromeTrace(tc, *out); err != nil {
+		return err
+	}
+	if *out != "-" {
+		fmt.Printf("wrote Chrome trace for %s (%d image(s)) to %s (open in ui.perfetto.dev)\n", *net, *images, *out)
+	}
+	if *metrics {
+		fmt.Println("\n== metrics ==")
+		fmt.Print(tc.Metrics().DumpText())
+	}
 	return nil
 }
 
@@ -393,10 +557,17 @@ func runChaos(args []string) error {
 	rate := fs.Float64("fault-rate", 0.1, "per-probe fault probability in [0,1]")
 	watchdog := fs.Float64("watchdog-us", 0, "per-image watchdog deadline in simulated microseconds (0 = none)")
 	images := fs.Int("images", 5, "images to run per network")
+	metrics := fs.Bool("metrics", false, "print the metrics dump after the runs")
+	traceOut := fs.String("trace", "", "write a Chrome trace JSON to this path (\"-\" = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctrl := host.RunControl{FaultSeed: *seed, FaultRate: *rate, WatchdogUS: *watchdog}
+	var tc *trace.Collector
+	if *metrics || *traceOut != "" {
+		tc = trace.NewCollector()
+		ctrl.Trace = tc
+	}
 
 	layers, err := relay.Lower(nn.LeNet5())
 	if err != nil {
@@ -421,6 +592,8 @@ func runChaos(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Place the folded run after the ladder on the shared trace clock.
+	ctrl.TraceOffsetUS = tc.MaxEndUS()
 	r, stats, err := f.RunResilient(*images, ctrl)
 	if err != nil {
 		return fmt.Errorf("mobilenetv1: resilient run failed despite retries: %w", err)
@@ -430,6 +603,18 @@ func runChaos(args []string) error {
 		len(stats.Faults), stats.Retries, stats.WatchdogTrips)
 	for _, rec := range stats.Faults {
 		fmt.Printf("  fault: %s\n", rec)
+	}
+	if *traceOut != "" {
+		if err := writeChromeTrace(tc, *traceOut); err != nil {
+			return err
+		}
+		if *traceOut != "-" {
+			fmt.Printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n", *traceOut)
+		}
+	}
+	if *metrics {
+		fmt.Println("\n== metrics ==")
+		fmt.Print(tc.Metrics().DumpText())
 	}
 	return nil
 }

@@ -26,12 +26,23 @@ import (
 	"repro/internal/ir"
 )
 
+// CompileObserver receives one callback per memoized kernel analysis lookup.
+// It is defined here (and satisfied structurally by the observability layer)
+// because the dependency arrow must point out of aoc: the trace package sits
+// above the runtime, which sits above the compiler model.
+type CompileObserver interface {
+	// ObserveCompile reports one lookup: the kernel's name and whether the
+	// analysis was served from the cache.
+	ObserveCompile(kernel string, hit bool)
+}
+
 // CompileCache memoizes per-kernel Analyze results across designs. The zero
 // value is not usable; construct with NewCompileCache. A nil *CompileCache is
 // accepted everywhere and disables memoization.
 type CompileCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+	obs     CompileObserver
 	hits    atomic.Int64
 	misses  atomic.Int64
 }
@@ -45,6 +56,18 @@ type cacheEntry struct {
 // NewCompileCache returns an empty thread-safe compile cache.
 func NewCompileCache() *CompileCache {
 	return &CompileCache{entries: map[string]*cacheEntry{}}
+}
+
+// SetObserver installs an observer called on every lookup (nil removes it).
+// The observer must be safe for concurrent use: the explorer analyzes from
+// many workers at once. Nil-safe on the cache.
+func (c *CompileCache) SetObserver(o CompileObserver) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.obs = o
+	c.mu.Unlock()
 }
 
 // Stats returns the cumulative hit/miss counters. Nil-safe.
@@ -87,11 +110,15 @@ func (c *CompileCache) analyze(k *ir.Kernel, board *fpga.Board, opts Options) (*
 		e = &cacheEntry{}
 		c.entries[key] = e
 	}
+	obs := c.obs
 	c.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
 		c.misses.Add(1)
+	}
+	if obs != nil {
+		obs.ObserveCompile(k.Name, ok)
 	}
 	e.once.Do(func() { e.m, e.err = Analyze(k, board, opts) })
 	return e.m, e.err

@@ -48,6 +48,16 @@ type Event struct {
 	QueuedUS float64
 	StartUS  float64
 	EndUS    float64
+	// Queue is the index (creation order) of the command queue the event ran
+	// on — the trace exporter renders one track per queue.
+	Queue int
+	// Bytes is the transfer payload size for write/read events (0 for
+	// kernels); with the duration it yields the effective PCIe bandwidth.
+	Bytes int
+	// StallUS is the portion of a kernel's span spent waiting for channel
+	// producers to finish (the §4.6 rate-mismatch back-pressure): the amount
+	// its end was pushed past start+modeled-duration by chanDone coupling.
+	StallUS float64
 	// Corrupt marks a transfer whose payload was damaged in flight by an
 	// injected fault (the host detects it by checksum and re-transfers).
 	Corrupt bool
@@ -116,13 +126,17 @@ func (c *Context) NewBuffer(name string, bytes int) *Buffer {
 // event dependencies and buffer hazards allow.
 type Queue struct {
 	ctx     *Context
+	id      int
 	avail   float64
 	inOrder bool
 }
 
+// ID returns the queue's index in context creation order.
+func (q *Queue) ID() int { return q.id }
+
 // NewQueue creates an in-order command queue.
 func (c *Context) NewQueue() *Queue {
-	q := &Queue{ctx: c, inOrder: true}
+	q := &Queue{ctx: c, id: len(c.queues), inOrder: true}
 	c.queues = append(c.queues, q)
 	return q
 }
@@ -131,7 +145,7 @@ func (c *Context) NewQueue() *Queue {
 // are not serialized against each other; the programmer synchronizes with
 // explicit event wait lists (§2.3.2).
 func (c *Context) NewOutOfOrderQueue() *Queue {
-	q := &Queue{ctx: c}
+	q := &Queue{ctx: c, id: len(c.queues)}
 	c.queues = append(c.queues, q)
 	return q
 }
@@ -188,7 +202,8 @@ func (q *Queue) EnqueueWrite(b *Buffer, bytes int) (*Event, error) {
 	if c.Profiling {
 		c.hostUS = math.Max(c.hostUS, end) // blocking wait for the event
 	}
-	ev := c.record(&Event{Kind: "write", Name: b.Name, QueuedUS: queued, StartUS: start, EndUS: end, Corrupt: ferr != nil})
+	ev := c.record(&Event{Kind: "write", Name: b.Name, QueuedUS: queued, StartUS: start, EndUS: end,
+		Queue: q.id, Bytes: bytes, Corrupt: ferr != nil})
 	if ferr != nil {
 		return ev, ferr
 	}
@@ -212,7 +227,8 @@ func (q *Queue) EnqueueRead(b *Buffer, bytes int) (*Event, error) {
 	q.release(end)
 	c.pcieAvail, b.readAvail = end, end
 	c.hostUS = math.Max(c.hostUS, end)
-	ev := c.record(&Event{Kind: "read", Name: b.Name, QueuedUS: queued, StartUS: start, EndUS: end, Corrupt: ferr != nil})
+	ev := c.record(&Event{Kind: "read", Name: b.Name, QueuedUS: queued, StartUS: start, EndUS: end,
+		Queue: q.id, Bytes: bytes, Corrupt: ferr != nil})
 	if ferr != nil {
 		return ev, ferr
 	}
@@ -280,6 +296,7 @@ func (q *Queue) EnqueueKernel(call KernelCall) (*Event, error) {
 			end = math.Max(end, d+stageLatencyUS)
 		}
 	}
+	chanStallUS := end - (start + dur)
 	q.release(end)
 	c.kernelAvail[call.Name] = end
 	for _, b := range call.Reads {
@@ -295,7 +312,8 @@ func (q *Queue) EnqueueKernel(call KernelCall) (*Event, error) {
 	if c.Profiling {
 		c.hostUS = math.Max(c.hostUS, end)
 	}
-	ev := c.record(&Event{Kind: "kernel", Name: call.Name, QueuedUS: queued, StartUS: start, EndUS: end, Stalled: stall > 1})
+	ev := c.record(&Event{Kind: "kernel", Name: call.Name, QueuedUS: queued, StartUS: start, EndUS: end,
+		Queue: q.id, StallUS: chanStallUS, Stalled: stall > 1})
 	if err := c.runAutorun(ev); err != nil {
 		return ev, err
 	}

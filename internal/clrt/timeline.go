@@ -20,8 +20,17 @@ func (c *Context) Timeline(width int) string { return c.TimelineSince(width, 0) 
 func (c *Context) TimelineSince(width int, sinceUS float64) string {
 	events := make([]*Event, 0, len(c.events))
 	for _, e := range c.events {
-		if e.StartUS >= sinceUS {
+		switch {
+		case e.StartUS >= sinceUS:
 			events = append(events, e)
+		case e.EndUS > sinceUS:
+			// The event straddles the cutoff (an in-flight kernel or transfer).
+			// Clip it to the window rather than dropping it — hiding in-flight
+			// work makes the steady-state view lie about occupancy. Copy so the
+			// recorded event is not mutated.
+			clipped := *e
+			clipped.StartUS = sinceUS
+			events = append(events, &clipped)
 		}
 	}
 	if len(events) == 0 {
@@ -99,7 +108,7 @@ func (c *Context) TimelineSince(width int, sinceUS float64) string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "timeline: %.0f us total (# kernel, W write, R read; %.1f us/col)\n",
-		span, span/float64(width))
+		span, span/float64(width-1))
 	for _, r := range rows {
 		fmt.Fprintf(&b, "  %-*s |%s|\n", maxLabel, r.label, lanes[r.label])
 	}

@@ -59,6 +59,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/aoc"
 	"repro/internal/fpga"
@@ -66,6 +67,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/relay"
 	"repro/internal/topi"
+	"repro/internal/trace"
 )
 
 // Options configures an exploration run. The zero value explores with
@@ -85,6 +87,14 @@ type Options struct {
 	Cache *aoc.CompileCache
 	// NoCache disables compile memoization entirely (benchmarks/ablations).
 	NoCache bool
+	// Metrics receives the run's observability counters and gauges
+	// (evaluated/pruned counts, cache hit ratio, candidates/sec, per-kernel
+	// compile-cache lookups); nil disables publication.
+	Metrics *trace.Registry
+	// Trace receives one span per evaluated candidate on a modeled-time axis
+	// (cumulative forward-pass time in slot order — deterministic, unlike the
+	// wall clock); nil disables it.
+	Trace *trace.Collector
 }
 
 // Candidate is one evaluated configuration.
@@ -247,7 +257,11 @@ func ExploreWith(layers []*relay.Layer, net string, board *fpga.Board, opts Opti
 	if cache == nil && !opts.NoCache {
 		cache = aoc.NewCompileCache()
 	}
+	if opts.Metrics != nil {
+		cache.SetObserver(trace.CacheObserver{Reg: opts.Metrics})
+	}
 	hits0, misses0 := cache.Stats()
+	t0 := time.Now()
 
 	facts := gatherFacts(layers)
 	res := &Result{Board: board, Net: net}
@@ -255,6 +269,18 @@ func ExploreWith(layers []*relay.Layer, net string, board *fpga.Board, opts Opti
 		hits1, misses1 := cache.Stats()
 		res.CacheHits = hits1 - hits0
 		res.CacheMisses = misses1 - misses0
+		if m := opts.Metrics; m != nil {
+			m.Counter("dse.evaluated").Add(int64(res.Evaluated))
+			m.Counter("dse.pruned").Add(int64(res.Pruned))
+			m.Counter("dse.cache_hits").Add(res.CacheHits)
+			m.Counter("dse.cache_misses").Add(res.CacheMisses)
+			m.Gauge("dse.cache_hit_ratio").Set(res.CacheHitRate())
+			// Wall-clock throughput: meaningful operationally, deliberately
+			// excluded from any golden comparison.
+			if el := time.Since(t0).Seconds(); el > 0 {
+				m.Gauge("dse.candidates_per_sec").Set(float64(res.Evaluated) / el)
+			}
+		}
 	}()
 
 	// --- Phase 1: enumeration (sequential, deterministic order) ---
@@ -419,6 +445,31 @@ assign:
 		}
 	}
 	res.Canceled = ctx.Err() != nil
+
+	// Per-candidate observability: one span per evaluated slot on a modeled-
+	// time axis (cumulative forward-pass estimates in slot order), which is
+	// deterministic for any worker count, unlike evaluation wall-time.
+	if opts.Trace != nil || opts.Metrics != nil {
+		var cursor float64
+		for i, c := range cands {
+			if !evalDone[i] || c == nil {
+				continue
+			}
+			opts.Metrics.Histogram("dse.candidate_time_us").Observe(c.TimeUS)
+			dur := c.TimeUS
+			if dur <= 0 {
+				dur = 1 // unsynthesizable candidates get a visible sliver
+			}
+			args := map[string]string{"synthesizable": fmt.Sprintf("%v", c.Synthesizable)}
+			if c.FailReason != "" {
+				args["fail"] = c.FailReason
+			}
+			opts.Trace.Add(trace.Span{Proc: "host", Track: "dse candidates",
+				Name: fmt.Sprintf("candidate %d", i), Cat: "candidate",
+				StartUS: cursor, DurUS: dur, Args: args})
+			cursor += dur
+		}
+	}
 
 	sort.SliceStable(res.Candidates, func(i, j int) bool {
 		a, b := res.Candidates[i], res.Candidates[j]

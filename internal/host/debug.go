@@ -14,6 +14,23 @@ import (
 // reproduces that: one tensor per layer, pulled from the device buffers
 // after a functional run.
 
+// TopologyError reports a stage whose input references a stage that does not
+// strictly precede it. The dump binds each stage's input to its producer's
+// output buffer in stage order; a forward (or self) reference would silently
+// bind zeros — the consumer would run before its producer ever wrote — so it
+// is rejected up front as a typed error the caller can match with errors.As.
+type TopologyError struct {
+	// Stage is the consumer layer's name; Index its position in the plan.
+	Stage string
+	Index int
+	// In is the out-of-order producer index the stage references.
+	In int
+}
+
+func (e *TopologyError) Error() string {
+	return fmt.Sprintf("host: stage %d (%s) reads from stage %d: stages are not in topological order", e.Index, e.Stage, e.In)
+}
+
 // DumpActivations runs one inference and returns every layer's output
 // feature map, in layer order. It requires a buffered bitstream (Base or
 // Unrolling): channelized bitstreams stream activations kernel-to-kernel and
@@ -24,20 +41,25 @@ func (p *Pipelined) DumpActivations(input *tensor.Tensor) ([]*tensor.Tensor, err
 		return nil, fmt.Errorf("host: %s streams activations through channels; use a buffered bitstream (Base/Unrolling) for per-layer dumps", p.Variant)
 	}
 	m := sim.NewMachine()
-	for i, st := range p.stages {
+	for _, st := range p.stages {
 		bindStageTensors(m, st)
-		if st.op.Out != nil {
+		// Idempotent: when two stages share an Out buffer, the first bind
+		// wins — re-binding would orphan the slice the earlier stage (and any
+		// consumer aliasing it) already holds.
+		if st.op.Out != nil && m.Buffer(st.op.Out) == nil {
 			n, _ := st.op.Out.ConstLen()
-			_ = i
 			m.Bind(st.op.Out, make([]float32, n))
 		}
 	}
 	var kernels []*ir.Kernel
-	for _, st := range p.stages {
+	for i, st := range p.stages {
 		if st.op.In != nil {
-			if st.layer.In < 0 {
+			switch {
+			case st.layer.In < 0:
 				m.Bind(st.op.In, input.Data)
-			} else {
+			case st.layer.In >= i:
+				return nil, &TopologyError{Stage: st.layer.Name, Index: i, In: st.layer.In}
+			default:
 				m.Bind(st.op.In, m.Buffer(p.stages[st.layer.In].op.Out))
 			}
 		}

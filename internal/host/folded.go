@@ -12,6 +12,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/tensor"
 	"repro/internal/topi"
+	"repro/internal/trace"
 )
 
 // FoldedConfig selects the parameterized-kernel tiling for a folded
@@ -413,6 +414,12 @@ func (f *Folded) Infer(input *tensor.Tensor) (*tensor.Tensor, error) {
 // Run simulates classifying n images on a single command queue (concurrent
 // execution is not applicable to folded kernels, §4.11).
 func (f *Folded) Run(n int, profiling bool) (*RunResult, error) {
+	return f.RunTraced(n, profiling, nil)
+}
+
+// RunTraced is Run with structured tracing (see Pipelined.RunTraced); a nil
+// collector disables it.
+func (f *Folded) RunTraced(n int, profiling bool, tc *trace.Collector) (*RunResult, error) {
 	if err := f.Design.Err(); err != nil {
 		return nil, err
 	}
@@ -468,7 +475,9 @@ func (f *Folded) Run(n int, profiling bool) (*RunResult, error) {
 		outBytes *= d
 	}
 	start := ctx.ElapsedUS()
+	imgRanges := make([][2]int, 0, n)
 	for img := 0; img < n; img++ {
+		evLo := len(ctx.Events())
 		if _, err := q.EnqueueWrite(input, inBytes); err != nil {
 			return nil, err
 		}
@@ -498,17 +507,20 @@ func (f *Folded) Run(n int, profiling bool) (*RunResult, error) {
 		if _, err := q.EnqueueRead(devOut(last.outIdx), outBytes); err != nil {
 			return nil, err
 		}
+		imgRanges = append(imgRanges, [2]int{evLo, len(ctx.Events())})
 	}
 	ctx.Finish()
 	elapsed := ctx.ElapsedUS() - start
-	return &RunResult{
+	res := &RunResult{
 		Images:      n,
 		ElapsedUS:   elapsed,
 		FPS:         float64(n) / elapsed * 1e6,
 		Breakdown:   ctx.Breakdown(),
 		PerKernelUS: ctx.BreakdownByName(),
 		Timeline:    ctx.TimelineSince(72, start),
-	}, nil
+	}
+	collectRunTrace(tc, ctx, imgRanges, start, res)
+	return res, nil
 }
 
 // ForwardTimeUS returns the modeled time of one forward pass: per-invocation

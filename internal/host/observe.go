@@ -1,0 +1,83 @@
+package host
+
+// Bridging the host program into the observability layer (internal/trace):
+// each finished run contributes its device event stream, a host-side phase
+// span (setup vs. measured window) and one span per image, so a Chrome trace
+// shows where each classified image spent its simulated time — the pictures
+// the thesis reads off its execution timelines (§5.2), machine-readable.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/clrt"
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// collectRunTrace records one finished run into the collector: device spans
+// per queue (via trace.AddEvents), a host "phases" track with the setup and
+// measured windows, and an "images" track with one span per image built from
+// the event index ranges captured during enqueueing. startUS is the
+// simulated time the measured window began. Safe on a nil collector.
+func collectRunTrace(tc *trace.Collector, ctx *clrt.Context, imgRanges [][2]int, startUS float64, res *RunResult) {
+	collectRunTraceAt(tc, ctx, imgRanges, startUS, res, 0)
+}
+
+// collectRunTraceAt is collectRunTrace on a shifted clock: offsetUS places
+// the run on the global trace timeline. Degradation-ladder rungs each run in
+// a fresh context starting at 0, so the ladder passes the cumulative time of
+// the rungs before them.
+func collectRunTraceAt(tc *trace.Collector, ctx *clrt.Context, imgRanges [][2]int, startUS float64, res *RunResult, offsetUS float64) {
+	if tc == nil {
+		return
+	}
+	events := ctx.Events()
+	tc.AddEvents(events, ctx.ElapsedUS(), offsetUS)
+	if startUS > 0 {
+		tc.Add(trace.Span{Proc: "host", Track: "phases", Name: "setup", Cat: "phase",
+			StartUS: offsetUS, DurUS: startUS})
+	}
+	tc.Add(trace.Span{Proc: "host", Track: "phases", Name: "run", Cat: "phase",
+		StartUS: offsetUS + startUS, DurUS: res.ElapsedUS})
+	for img, rg := range imgRanges {
+		lo, hi := rg[0], rg[1]
+		if lo >= hi || hi > len(events) {
+			continue
+		}
+		s, e := math.Inf(1), math.Inf(-1)
+		for _, ev := range events[lo:hi] {
+			s = math.Min(s, ev.StartUS)
+			e = math.Max(e, ev.EndUS)
+		}
+		tc.Add(trace.Span{Proc: "host", Track: "images", Name: fmt.Sprintf("image %d", img),
+			Cat: "image", StartUS: offsetUS + s, DurUS: e - s,
+			Args: map[string]string{"events": fmt.Sprintf("%d", hi-lo)}})
+	}
+	m := tc.Metrics()
+	m.Counter("host.images").Add(int64(res.Images))
+	m.Gauge("host.fps").Set(res.FPS)
+}
+
+// collectResilientTrace records one resilient run: the usual run spans when
+// the run completed (res != nil), bare device spans when it died mid-flight,
+// plus fault instants for the records this run added to the (possibly
+// ladder-shared) injector ledger and the retry/watchdog counters. Safe when
+// ctrl.Trace is nil.
+func collectResilientTrace(ctrl RunControl, ctx *clrt.Context, inj *fault.Injector, faultsBefore int, stats *Resilience, res *RunResult, imgRanges [][2]int, startUS float64) {
+	tc := ctrl.Trace
+	if tc == nil {
+		return
+	}
+	if res != nil {
+		collectRunTraceAt(tc, ctx, imgRanges, startUS, res, ctrl.TraceOffsetUS)
+	} else {
+		tc.AddEvents(ctx.Events(), ctx.ElapsedUS(), ctrl.TraceOffsetUS)
+	}
+	if recs := inj.Records(); len(recs) > faultsBefore {
+		tc.AddFaults(recs[faultsBefore:], ctrl.TraceOffsetUS)
+	}
+	m := tc.Metrics()
+	m.Counter("host.retries").Add(int64(stats.Retries))
+	m.Counter("host.watchdog_trips").Add(int64(stats.WatchdogTrips))
+}

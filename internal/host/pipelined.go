@@ -22,6 +22,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/tensor"
 	"repro/internal/topi"
+	"repro/internal/trace"
 )
 
 // PipeVariant selects one of the Table 6.4 bitstreams.
@@ -310,6 +311,14 @@ type RunResult struct {
 // selects one command queue per kernel (§4.8); profiling enables the OpenCL
 // event profiler (which serializes execution, §5.2).
 func (p *Pipelined) Run(n int, concurrent, profiling bool) (*RunResult, error) {
+	return p.RunTraced(n, concurrent, profiling, nil)
+}
+
+// RunTraced is Run with structured tracing: the clrt event stream becomes
+// device-side spans and each image a host-side span, with run metrics
+// (occupancy, stall %, bandwidth, FPS) published to the collector's
+// registry. A nil collector is ignored, so Run delegates here for free.
+func (p *Pipelined) RunTraced(n int, concurrent, profiling bool, tc *trace.Collector) (*RunResult, error) {
 	if err := p.Design.Err(); err != nil {
 		return nil, err
 	}
@@ -387,7 +396,11 @@ func (p *Pipelined) Run(n int, concurrent, profiling bool) (*RunResult, error) {
 	}
 
 	start := ctx.ElapsedUS()
+	// Event index range of each image's commands; spans are built after
+	// Finish, since autorun propagation can still extend producer end times.
+	imgRanges := make([][2]int, 0, n)
 	for img := 0; img < n; img++ {
+		evLo := len(ctx.Events())
 		if _, err := queueFor(p.stages[0].op.Kernel.Name).EnqueueWrite(devBuf(p.inBuf), inBytes); err != nil {
 			return nil, err
 		}
@@ -417,15 +430,18 @@ func (p *Pipelined) Run(n int, concurrent, profiling bool) (*RunResult, error) {
 		if _, err := queueFor(p.stages[len(p.stages)-1].op.Kernel.Name).EnqueueRead(devBuf(p.outBuf), outBytes); err != nil {
 			return nil, err
 		}
+		imgRanges = append(imgRanges, [2]int{evLo, len(ctx.Events())})
 	}
 	ctx.Finish()
 	elapsed := ctx.ElapsedUS() - start
-	return &RunResult{
+	res := &RunResult{
 		Images:      n,
 		ElapsedUS:   elapsed,
 		FPS:         float64(n) / elapsed * 1e6,
 		Breakdown:   ctx.Breakdown(),
 		PerKernelUS: ctx.BreakdownByName(),
 		Timeline:    ctx.TimelineSince(72, start),
-	}, nil
+	}
+	collectRunTrace(tc, ctx, imgRanges, start, res)
+	return res, nil
 }

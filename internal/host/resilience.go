@@ -18,6 +18,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/relay"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 	"repro/internal/verify"
 )
 
@@ -38,6 +39,12 @@ type RunControl struct {
 	// BackoffUS is the initial retry backoff in simulated microseconds,
 	// doubled each attempt (default 50).
 	BackoffUS float64
+	// Trace receives spans and metrics for the run; nil disables tracing.
+	Trace *trace.Collector
+	// TraceOffsetUS shifts this run's events on the global trace clock. The
+	// degradation ladder runs every rung in a fresh clrt context starting at
+	// 0, so it places each rung after the cumulative time of the ones before.
+	TraceOffsetUS float64
 }
 
 func (c RunControl) withDefaults() RunControl {
@@ -65,6 +72,9 @@ type Resilience struct {
 	Retries       int
 	WatchdogTrips int
 	Faults        []fault.Record
+	// TotalUS is the run's total simulated time including setup — the amount
+	// the degradation ladder advances its global trace clock by.
+	TotalUS float64
 }
 
 // retrier wraps enqueue operations in bounded retry-with-backoff. Backoff
@@ -95,20 +105,25 @@ func (r *retrier) do(op func() error) error {
 // runImages drives n images through enqueueImage under the watchdog. When a
 // deadline is set, each image is synchronized (clFinish) and checked; a trip
 // re-enqueues the image, up to MaxRetries. Without a deadline images stream
-// back-to-back and pipeline freely.
-func runImages(ctx *clrt.Context, ctrl RunControl, stats *Resilience, n int, enqueueImage func() error) error {
+// back-to-back and pipeline freely. The returned event index ranges cover
+// each image's commands including retried attempts (the trace's image span
+// shows what the image actually cost, not just the successful attempt).
+func runImages(ctx *clrt.Context, ctrl RunControl, stats *Resilience, n int, enqueueImage func() error) ([][2]int, error) {
+	imgRanges := make([][2]int, 0, n)
 	for img := 0; img < n; img++ {
+		evLo := len(ctx.Events())
 		if ctrl.WatchdogUS <= 0 {
 			if err := enqueueImage(); err != nil {
-				return fmt.Errorf("image %d: %w", img, err)
+				return imgRanges, fmt.Errorf("image %d: %w", img, err)
 			}
+			imgRanges = append(imgRanges, [2]int{evLo, len(ctx.Events())})
 			continue
 		}
 		backoff := ctrl.BackoffUS
 		for attempt := 0; ; attempt++ {
 			imgStart := ctx.ElapsedUS()
 			if err := enqueueImage(); err != nil {
-				return fmt.Errorf("image %d: %w", img, err)
+				return imgRanges, fmt.Errorf("image %d: %w", img, err)
 			}
 			ctx.Finish()
 			ev := ctx.WatchdogExceeded(imgStart, ctrl.WatchdogUS)
@@ -117,15 +132,16 @@ func runImages(ctx *clrt.Context, ctrl RunControl, stats *Resilience, n int, enq
 			}
 			stats.WatchdogTrips++
 			if attempt >= ctrl.MaxRetries {
-				return fmt.Errorf("image %d: %s %s exceeded the %v us watchdog deadline (%v us) %d time(s)",
+				return imgRanges, fmt.Errorf("image %d: %s %s exceeded the %v us watchdog deadline (%v us) %d time(s)",
 					img, ev.Kind, ev.Name, ctrl.WatchdogUS, ev.Duration(), attempt+1)
 			}
 			ctx.AdvanceHost(backoff)
 			backoff *= 2
 		}
+		imgRanges = append(imgRanges, [2]int{evLo, len(ctx.Events())})
 	}
 	ctx.Finish()
-	return nil
+	return imgRanges, nil
 }
 
 func finishRun(ctx *clrt.Context, inj *fault.Injector, stats *Resilience, n int, start float64) (*RunResult, *Resilience) {
@@ -159,6 +175,7 @@ func (p *Pipelined) RunResilient(n int, concurrent bool, ctrl RunControl) (*RunR
 	inj := ctrl.injector()
 	ctx.Injector = inj
 	stats := &Resilience{}
+	faultsBefore := inj.Count() // a ladder-shared injector already has records
 	r := &retrier{ctx: ctx, ctrl: ctrl, stats: stats}
 
 	bufs := map[*ir.Buffer]*clrt.Buffer{}
@@ -259,13 +276,17 @@ func (p *Pipelined) RunResilient(n int, concurrent bool, ctrl RunControl) (*RunR
 		}
 		return nil
 	}
-	if err := runImages(ctx, ctrl, stats, n, enqueueImage); err != nil {
+	imgRanges, err := runImages(ctx, ctrl, stats, n, enqueueImage)
+	stats.TotalUS = ctx.ElapsedUS()
+	if err != nil {
 		if inj != nil {
 			stats.Faults = inj.Records()
 		}
+		collectResilientTrace(ctrl, ctx, inj, faultsBefore, stats, nil, imgRanges, start)
 		return nil, stats, err
 	}
 	res, stats := finishRun(ctx, inj, stats, n, start)
+	collectResilientTrace(ctrl, ctx, inj, faultsBefore, stats, res, imgRanges, start)
 	return res, stats, nil
 }
 
@@ -282,6 +303,7 @@ func (f *Folded) RunResilient(n int, ctrl RunControl) (*RunResult, *Resilience, 
 	inj := ctrl.injector()
 	ctx.Injector = inj
 	stats := &Resilience{}
+	faultsBefore := inj.Count() // a ladder-shared injector already has records
 	r := &retrier{ctx: ctx, ctrl: ctrl, stats: stats}
 	q := ctx.NewQueue()
 
@@ -363,13 +385,17 @@ func (f *Folded) RunResilient(n int, ctrl RunControl) (*RunResult, *Resilience, 
 		}
 		return nil
 	}
-	if err := runImages(ctx, ctrl, stats, n, enqueueImage); err != nil {
+	imgRanges, err := runImages(ctx, ctrl, stats, n, enqueueImage)
+	stats.TotalUS = ctx.ElapsedUS()
+	if err != nil {
 		if inj != nil {
 			stats.Faults = inj.Records()
 		}
+		collectResilientTrace(ctrl, ctx, inj, faultsBefore, stats, nil, imgRanges, start)
 		return nil, stats, err
 	}
 	res, stats := finishRun(ctx, inj, stats, n, start)
+	collectResilientTrace(ctrl, ctx, inj, faultsBefore, stats, res, imgRanges, start)
 	return res, stats, nil
 }
 
@@ -495,8 +521,15 @@ func RunLadder(net string, layers []*relay.Layer, rungs []Rung, input *tensor.Te
 	}
 
 	rep := &ResilientReport{Net: net}
+	tc := ctrl.Trace
+	// Cumulative clock of the ladder walk: every rung runs in a fresh clrt
+	// context starting at 0, so its spans are shifted past the rungs before.
+	offsetUS := ctrl.TraceOffsetUS
 	fail := func(rung Rung, reason string) {
 		rep.Fallbacks = append(rep.Fallbacks, Fallback{From: rung.Name, Reason: reason})
+		tc.Metrics().Counter("host.fallbacks").Inc()
+		tc.Instant("host", "ladder", rung.Name, "rung", offsetUS,
+			map[string]string{"status": "failed", "reason": reason})
 	}
 	for _, rung := range rungs {
 		dep, err := rung.Build()
@@ -521,10 +554,22 @@ func RunLadder(net string, layers []*relay.Layer, rungs []Rung, input *tensor.Te
 			fail(rung, fmt.Sprintf("output mismatch vs reference (max |diff| %.2e)", tensor.MaxAbsDiff(out, want)))
 			continue
 		}
-		run, stats, err := dep.Resilient(n, ctrl)
+		rungCtrl := ctrl
+		rungCtrl.TraceOffsetUS = offsetUS
+		run, stats, err := dep.Resilient(n, rungCtrl)
+		status := "served"
+		if err != nil {
+			status = "failed"
+		}
 		if stats != nil {
 			rep.Retries += stats.Retries
 			rep.WatchdogTrips += stats.WatchdogTrips
+			if stats.TotalUS > 0 {
+				tc.Add(trace.Span{Proc: "host", Track: "ladder", Name: rung.Name, Cat: "rung",
+					StartUS: offsetUS, DurUS: stats.TotalUS,
+					Args: map[string]string{"status": status}})
+				offsetUS += stats.TotalUS
+			}
 		}
 		if err != nil {
 			fail(rung, fmt.Sprintf("timed run failed despite retries: %v", err))
@@ -540,6 +585,8 @@ func RunLadder(net string, layers []*relay.Layer, rungs []Rung, input *tensor.Te
 
 	// Fully degraded: serve from the CPU reference executor.
 	rep.Mode, rep.Output, rep.Degraded = "cpuref", want, true
+	tc.Instant("host", "ladder", "cpuref", "rung", offsetUS,
+		map[string]string{"status": "served", "degraded": "true"})
 	if ctrl.Injector != nil {
 		rep.Faults = ctrl.Injector.Records()
 	}

@@ -1,0 +1,108 @@
+package trace
+
+// Chrome trace event format exporter (the catapult JSON consumed by
+// about://tracing and https://ui.perfetto.dev). One trace process per span
+// Proc ("device", "host"), one thread per track, complete ("X") events for
+// spans and instant ("i") events for markers.
+//
+// Determinism: pids are assigned by sorted process name, tids by first
+// appearance in the span stream, spans are stably sorted by start time, and
+// encoding/json emits map keys (span args) sorted — so a deterministic run
+// produces a byte-identical trace file.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the traceEvents array. Field order here fixes
+// the byte layout of every exported event.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   *float64          `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the collector's spans as Chrome trace JSON.
+// Timestamps are simulated microseconds, which is exactly the unit the
+// format expects. Nil-safe: a nil collector writes an empty (but valid)
+// trace.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	spans := c.Spans()
+	sortSpansForExport(spans)
+
+	// pid per process name, sorted so "device" < "host" regardless of which
+	// layer records first.
+	procSet := map[string]bool{}
+	for _, s := range spans {
+		procSet[s.Proc] = true
+	}
+	pids := map[string]int{}
+	for i, p := range sortedKeys(procSet) {
+		pids[p] = i + 1
+	}
+
+	// tid per (proc, track), in first-appearance order of the time-sorted
+	// stream: queue 0's setup transfers come first, so track numbering is
+	// stable for a given run shape.
+	type trackKey struct{ proc, track string }
+	tids := map[trackKey]int{}
+	var trackOrder []trackKey
+	for _, s := range spans {
+		k := trackKey{s.Proc, s.Track}
+		if _, ok := tids[k]; !ok {
+			tids[k] = len(trackOrder) + 1
+			trackOrder = append(trackOrder, k)
+		}
+	}
+
+	evs := make([]chromeEvent, 0, len(spans)+2*len(trackOrder)+len(pids))
+	for _, p := range sortedKeys(pids) {
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pids[p],
+			Args: map[string]string{"name": p},
+		})
+	}
+	for _, k := range trackOrder {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: pids[k.proc], TID: tids[k],
+			Args: map[string]string{"name": k.track},
+		})
+		evs = append(evs, chromeEvent{
+			Name: "thread_sort_index", Phase: "M", PID: pids[k.proc], TID: tids[k],
+			Args: map[string]string{"sort_index": fmt.Sprintf("%d", tids[k])},
+		})
+	}
+	for _, s := range spans {
+		e := chromeEvent{
+			Name: s.Name, Cat: s.Cat, TS: s.StartUS,
+			PID: pids[s.Proc], TID: tids[trackKey{s.Proc, s.Track}],
+			Args: s.Args,
+		}
+		if s.Instant {
+			e.Phase = "i"
+			e.Scope = "t"
+		} else {
+			e.Phase = "X"
+			dur := s.DurUS
+			e.Dur = &dur
+		}
+		evs = append(evs, e)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
