@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench chaos trace fmt
+.PHONY: all build test race lint bench bench-batch chaos trace fmt
 
 all: lint build test
 
@@ -29,6 +29,14 @@ lint:
 # Serial-vs-parallel explorer speedup (BenchmarkDSESerial / BenchmarkDSEParallel).
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkDSE -benchtime=1x ./...
+
+# Batched-inference throughput: serial per-image Infer vs the RunBatch engine
+# on a 16-image LeNet-5 batch. Writes BENCH_batch.json (wall-clock ns/image
+# and allocs/image for both paths, plus the modeled serial-vs-batch speedup);
+# CI uploads it as a non-blocking artifact.
+bench-batch:
+	$(GO) run ./cmd/fpgacnn bench-batch -o BENCH_batch.json
+	$(GO) test -run=NONE -bench=BenchmarkBatchThroughput -benchtime=1x .
 
 # Chaos smoke: the fault-injection matrix (the Resilient/Watchdog/Ladder tests
 # sweep seeds 1-3 internally) under the race detector, the static channel

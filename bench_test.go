@@ -17,6 +17,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/nn"
 	"repro/internal/relay"
+	"repro/internal/tensor"
 	"repro/internal/topi"
 )
 
@@ -413,6 +414,52 @@ func BenchmarkAblationSymbolicCoalesce(b *testing.B) {
 		ratio = float64(mo.Area.ALUTs) / float64(mw.Area.ALUTs)
 	}
 	b.ReportMetric(ratio, "logic-bloat-x")
+}
+
+// ---- Batched inference: the multi-image throughput path ----
+
+// BenchmarkBatchThroughput compares the seed per-image Infer loop (fresh
+// machine, kernels recompiled every image) against the batch engine (warm
+// per-worker arenas, pooled buffers, parallel workers) on a 16-image LeNet-5
+// batch. The "serial" and "batch" sub-benchmarks measure wall-clock host
+// throughput; `fpgacnn bench-batch` runs the same comparison and records it
+// in BENCH_batch.json. The batch engine's contract is bit-identical outputs
+// at >=2x the images/sec and >=5x fewer allocations per image.
+func BenchmarkBatchThroughput(b *testing.B) {
+	layers := lenetLayers(b)
+	p, err := host.BuildPipelined(layers, host.PipeTVMAutorun, fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 16
+	inputs := make([]*tensor.Tensor, batch)
+	for i := range inputs {
+		inputs[i] = nn.Digit(i % 10)
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, in := range inputs {
+				if _, err := p.Infer(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "img/s")
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		var res *host.BatchResult
+		for i := 0; i < b.N; i++ {
+			r, err := p.RunBatch(inputs, host.BatchOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res = r
+		}
+		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "img/s")
+		b.ReportMetric(res.ImagesPerSec, "modeled-img/s")
+	})
 }
 
 // ---- §4.11: parallel design-space exploration ----

@@ -15,15 +15,23 @@
 //	                             # parallel design-space exploration
 //	fpgacnn run -net <net> [-images N] [-metrics] [-trace F]
 //	                             # timed run with optional metrics/trace export
+//	fpgacnn run -batch N -workers K
+//	                             # batched inference through the parallel engine
+//	fpgacnn bench-batch -o BENCH_batch.json
+//	                             # wall-clock serial-vs-batch benchmark, JSON out
 //	fpgacnn trace -o trace.json  # timed run, exported as a Chrome trace
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/aoc"
 	"repro/internal/bench"
@@ -76,6 +84,8 @@ func main() {
 		err = runDSE(os.Args[2:])
 	case "run":
 		err = runTimed(os.Args[2:])
+	case "bench-batch":
+		err = runBenchBatch(os.Args[2:])
 	case "trace":
 		err = runTrace(os.Args[2:])
 	default:
@@ -100,7 +110,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fpgacnn <command>
   list | all | <experiment> | codegen <net> | hostgen <net> | report <net> <board> |
   timeline <net> <board> | graph <net> | verify |
-  run [-net N] [-board B] [-images N] [-serial] [-profiling] [-metrics] [-trace F] |
+  run [-net N] [-board B] [-images N] [-batch N] [-workers K] [-serial] [-profiling]
+      [-metrics] [-trace F] [-cpuprofile F] [-memprofile F] |
+  bench-batch [-net N] [-board B] [-batch N] [-workers K] [-o F]
+      [-cpuprofile F] [-memprofile F] |
   trace [-net N] [-board B] [-images N] [-o F] [-metrics] |
   chaos [-fault-seed N] [-fault-rate P] [-watchdog-us D] [-images N] [-metrics] [-trace F] |
   dse [-dse-workers N] [-dse-timeout D] [-dse-max N] [-metrics]`)
@@ -206,45 +219,334 @@ func writeChromeTrace(tc *trace.Collector, path string) error {
 	return f.Close()
 }
 
+// startProfiles starts a CPU profile and/or schedules a heap profile per the
+// pprof flag values; the returned stop function must run before exit (callers
+// defer it). Empty paths are no-ops.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fpgacnn: memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fpgacnn: memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
+
+// batchDeployment is the surface the batch engine exposes on both deployment
+// shapes (pipelined and folded).
+type batchDeployment interface {
+	Infer(*tensor.Tensor) (*tensor.Tensor, error)
+	RunBatch([]*tensor.Tensor, host.BatchOptions) (*host.BatchResult, error)
+}
+
+// buildBatchDeployment resolves a network/board to a deployment that supports
+// RunBatch, plus a deterministic input set of the requested size: MNIST
+// digits for LeNet-5, seeded random images of the network's input shape
+// otherwise.
+func buildBatchDeployment(net, boardName string, n int) (batchDeployment, []*tensor.Tensor, error) {
+	board, err := fpga.ByName(boardName)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := nn.ByName(net)
+	if err != nil {
+		return nil, nil, err
+	}
+	layers, err := relay.Lower(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	inputs := make([]*tensor.Tensor, n)
+	for i := range inputs {
+		if net == "lenet5" {
+			inputs[i] = nn.Digit(i % 10)
+		} else {
+			inputs[i] = nn.RandomImage(uint64(i+1), layers[0].InShape...)
+		}
+	}
+	if net == "lenet5" {
+		p, err := host.BuildPipelined(layers, host.PipeTVMAutorun, board, aoc.DefaultOptions)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, inputs, nil
+	}
+	cfg, err := bench.FoldedConfigFor(net, board)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := host.BuildFolded(layers, cfg, board, aoc.DefaultOptions)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, inputs, nil
+}
+
+// printBatchResult summarizes one RunBatch: modeled device time, throughput,
+// how much transfer time double buffering hid, and the fault ledger.
+func printBatchResult(name string, r *host.BatchResult) {
+	fmt.Printf("%s: batch of %d image(s) on %d worker(s), %.1f us simulated, %.1f images/s\n",
+		name, r.Images, r.Workers, r.ModeledUS, r.ImagesPerSec)
+	fmt.Printf("  transfer overlap: %.1f of %.1f us hidden behind kernels (ratio %.2f)\n",
+		r.Overlap.HiddenUS, r.Overlap.TransferUS, r.Overlap.Ratio)
+	if len(r.Faults) > 0 || r.Retries > 0 {
+		fmt.Printf("  injected faults: %d, retries: %d\n", len(r.Faults), r.Retries)
+		for _, bf := range r.Faults {
+			fmt.Printf("  fault: image %d: %s\n", bf.Image, bf.Record)
+		}
+	}
+}
+
 // runTimed is the plain timed-run subcommand with optional observability:
-// -metrics prints the registry dump, -trace exports a Chrome trace.
+// -metrics prints the registry dump, -trace exports a Chrome trace,
+// -cpuprofile/-memprofile write pprof profiles of the host process. With
+// -batch N the images go through the parallel batch engine instead of the
+// per-image loop.
 func runTimed(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	net := fs.String("net", "lenet5", "network (see fpgacnn list)")
 	boardName := fs.String("board", "S10SX", "target board")
 	images := fs.Int("images", 3, "images to classify")
+	batch := fs.Int("batch", 0, "run N images through the batch engine (0 = per-image path)")
+	workers := fs.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
 	serial := fs.Bool("serial", false, "single shared command queue (pipelined nets only)")
+	noDB := fs.Bool("no-double-buffer", false, "ablation: depth-1 rings in the batch engine")
 	profiling := fs.Bool("profiling", false, "enable the OpenCL event profiler (serializes execution)")
 	metrics := fs.Bool("metrics", false, "print the metrics dump after the run")
 	traceOut := fs.String("trace", "", "write a Chrome trace JSON to this path (\"-\" = stdout)")
+	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memProf := fs.String("memprofile", "", "write a pprof heap profile to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	var tc *trace.Collector
+	if *metrics || *traceOut != "" {
+		tc = trace.NewCollector()
+	}
+	if *batch > 0 {
+		dep, inputs, err := buildBatchDeployment(*net, *boardName, *batch)
+		if err != nil {
+			return err
+		}
+		res, err := dep.RunBatch(inputs, host.BatchOptions{
+			Workers: *workers, Trace: tc, NoDoubleBuffer: *noDB,
+		})
+		if err != nil {
+			return err
+		}
+		printBatchResult(*net, res)
+		return finishObservability(tc, *traceOut, *metrics)
 	}
 	run, err := buildRunner(*net, *boardName, !*serial, *profiling)
 	if err != nil {
 		return err
-	}
-	var tc *trace.Collector
-	if *metrics || *traceOut != "" {
-		tc = trace.NewCollector()
 	}
 	r, err := run(*images, tc)
 	if err != nil {
 		return err
 	}
 	printRunResult(*net, r)
-	if *traceOut != "" {
-		if err := writeChromeTrace(tc, *traceOut); err != nil {
+	return finishObservability(tc, *traceOut, *metrics)
+}
+
+// finishObservability emits the optional post-run artifacts shared by the
+// run paths: a Chrome trace file and/or the metrics dump.
+func finishObservability(tc *trace.Collector, traceOut string, metrics bool) error {
+	if traceOut != "" {
+		if err := writeChromeTrace(tc, traceOut); err != nil {
 			return err
 		}
-		if *traceOut != "-" {
-			fmt.Printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n", *traceOut)
+		if traceOut != "-" {
+			fmt.Printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n", traceOut)
 		}
 	}
-	if *metrics {
+	if metrics {
 		fmt.Println("\n== metrics ==")
 		fmt.Print(tc.Metrics().DumpText())
 	}
+	return nil
+}
+
+// batchBenchReport is the BENCH_batch.json schema: wall-clock host throughput
+// of the serial per-image path vs the batch engine over the same images, plus
+// the modeled device-side figures from the simulated run. CI uploads this as
+// a non-blocking artifact (see .github/workflows/ci.yml).
+type batchBenchReport struct {
+	Net     string `json:"net"`
+	Board   string `json:"board"`
+	Batch   int    `json:"batch"`
+	Workers int    `json:"workers"`
+	Serial  struct {
+		NsPerImage     float64 `json:"ns_per_image"`
+		AllocsPerImage float64 `json:"allocs_per_image"`
+		ImagesPerSec   float64 `json:"images_per_sec"`
+	} `json:"serial"`
+	Batched struct {
+		NsPerImage     float64 `json:"ns_per_image"`
+		AllocsPerImage float64 `json:"allocs_per_image"`
+		ImagesPerSec   float64 `json:"images_per_sec"`
+	} `json:"batch_engine"`
+	SpeedupX    float64 `json:"speedup_images_per_sec_x"`
+	AllocRatioX float64 `json:"alloc_reduction_x"`
+	// Modeled figures come from the simulated runtime clock: ModeledSerial is
+	// a single-stream depth-1 run (the seed host structure), Modeled is the
+	// batch engine's worker pool with double buffering. Their ratio isolates
+	// the host-architecture win from host-CPU effects, the way the thesis
+	// reports its concurrent-queue speedups.
+	ModeledSerial struct {
+		US           float64 `json:"us"`
+		ImagesPerSec float64 `json:"images_per_sec"`
+	} `json:"modeled_serial"`
+	Modeled struct {
+		US           float64 `json:"us"`
+		ImagesPerSec float64 `json:"images_per_sec"`
+		OverlapRatio float64 `json:"overlap_ratio"`
+	} `json:"modeled"`
+	ModeledSpeedupX float64 `json:"modeled_speedup_x"`
+}
+
+// runBenchBatch measures wall-clock serial-vs-batch host throughput with
+// testing.Benchmark and writes the JSON report. The serial baseline is the
+// seed per-image Infer path (fresh machine, closures recompiled per image);
+// the batch path is RunBatch over the same inputs.
+func runBenchBatch(args []string) error {
+	fs := flag.NewFlagSet("bench-batch", flag.ContinueOnError)
+	net := fs.String("net", "lenet5", "network (see fpgacnn list)")
+	boardName := fs.String("board", "S10SX", "target board")
+	batch := fs.Int("batch", 16, "images per batch")
+	workers := fs.Int("workers", 4, "batch worker count (0 = GOMAXPROCS)")
+	out := fs.String("o", "BENCH_batch.json", "output path for the JSON report (\"-\" = stdout)")
+	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memProf := fs.String("memprofile", "", "write a pprof heap profile to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	dep, inputs, err := buildBatchDeployment(*net, *boardName, *batch)
+	if err != nil {
+		return err
+	}
+	// Steady-state measurement, symmetric for both paths: one warmup pass
+	// (arena compile, pool fill), then `reps` timed passes over the batch
+	// with allocation counts from the runtime's malloc counter.
+	const reps = 3
+	measure := func(pass func() error) (nsPerImage, allocsPerImage float64, err error) {
+		if err := pass(); err != nil {
+			return 0, 0, err
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := pass(); err != nil {
+				return 0, 0, err
+			}
+		}
+		dt := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		images := float64(*batch * reps)
+		return float64(dt.Nanoseconds()) / images, float64(after.Mallocs-before.Mallocs) / images, nil
+	}
+	serialNs, serialAllocs, err := measure(func() error {
+		for _, in := range inputs {
+			if _, err := dep.Infer(in); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("serial baseline: %w", err)
+	}
+	var modeled *host.BatchResult
+	batchNs, batchAllocs, err := measure(func() error {
+		res, err := dep.RunBatch(inputs, host.BatchOptions{Workers: *workers})
+		if err == nil {
+			modeled = res
+		}
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("batch engine: %w", err)
+	}
+	// Modeled single-stream baseline: one worker, depth-1 rings — the seed
+	// host structure on the simulated clock.
+	modeledSerial, err := dep.RunBatch(inputs, host.BatchOptions{Workers: 1, NoDoubleBuffer: true})
+	if err != nil {
+		return err
+	}
+	rep := batchBenchReport{Net: *net, Board: *boardName, Batch: *batch, Workers: modeled.Workers}
+	rep.Serial.NsPerImage = serialNs
+	rep.Serial.AllocsPerImage = serialAllocs
+	rep.Serial.ImagesPerSec = 1e9 / rep.Serial.NsPerImage
+	rep.Batched.NsPerImage = batchNs
+	rep.Batched.AllocsPerImage = batchAllocs
+	rep.Batched.ImagesPerSec = 1e9 / rep.Batched.NsPerImage
+	if rep.Batched.NsPerImage > 0 {
+		rep.SpeedupX = rep.Serial.NsPerImage / rep.Batched.NsPerImage
+	}
+	if rep.Batched.AllocsPerImage > 0 {
+		rep.AllocRatioX = rep.Serial.AllocsPerImage / rep.Batched.AllocsPerImage
+	}
+	rep.ModeledSerial.US = modeledSerial.ModeledUS
+	rep.ModeledSerial.ImagesPerSec = modeledSerial.ImagesPerSec
+	rep.Modeled.US = modeled.ModeledUS
+	rep.Modeled.ImagesPerSec = modeled.ImagesPerSec
+	rep.Modeled.OverlapRatio = modeled.Overlap.Ratio
+	if modeledSerial.ImagesPerSec > 0 {
+		rep.ModeledSpeedupX = modeled.ImagesPerSec / modeledSerial.ImagesPerSec
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	fmt.Printf("%s batch=%d workers=%d: serial %.2f ms/image (%.0f allocs), batch %.2f ms/image (%.0f allocs): %.1fx faster, %.1fx fewer allocs, %.1fx modeled\n",
+		*net, *batch, rep.Workers,
+		rep.Serial.NsPerImage/1e6, rep.Serial.AllocsPerImage,
+		rep.Batched.NsPerImage/1e6, rep.Batched.AllocsPerImage,
+		rep.SpeedupX, rep.AllocRatioX, rep.ModeledSpeedupX)
+	if *out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
 	return nil
 }
 

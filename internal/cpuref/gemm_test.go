@@ -1,0 +1,141 @@
+package cpuref
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// convCase enumerates the conv shapes the example networks actually lower
+// (LeNet 5x5s1, MobileNet 1x1s1/3x3s2, ResNet 7x7s2/3x3s1) plus padded and
+// degenerate corners.
+type convCase struct {
+	c1, h, w, c2, f, s, p int
+	bias, relu            bool
+}
+
+func convCases() []convCase {
+	return []convCase{
+		{1, 28, 28, 6, 5, 1, 0, true, true},    // LeNet conv1
+		{6, 12, 12, 16, 5, 1, 0, true, true},   // LeNet conv2
+		{3, 32, 32, 8, 3, 2, 0, true, false},   // strided
+		{3, 16, 16, 4, 3, 1, 1, true, true},    // padded 3x3
+		{8, 14, 14, 16, 1, 1, 0, false, false}, // pointwise, no bias
+		{4, 9, 9, 5, 7, 2, 3, true, false},     // large filter, pad+stride
+		{2, 7, 7, 3, 7, 1, 0, false, true},     // output 1x1
+		{16, 30, 30, 32, 3, 1, 0, true, true},  // wide enough to parallelize
+	}
+}
+
+func randConv(tc convCase, seed uint64) (in, w, bias *tensor.Tensor) {
+	in = tensor.New(tc.c1, tc.h, tc.w)
+	in.FillSeq(seed)
+	w = tensor.New(tc.c2, tc.c1, tc.f, tc.f)
+	w.FillSeq(seed + 1)
+	if tc.bias {
+		bias = tensor.New(tc.c2)
+		bias.FillSeq(seed + 2)
+	}
+	return
+}
+
+// TestConv2DGEMMMatchesNaive checks the GEMM lowering against the direct
+// loop-nest oracle, bit-exactly on unpadded cases and to float tolerance on
+// padded ones (the im2col zeros add exact +0.0 terms the naive loop skips).
+func TestConv2DGEMMMatchesNaive(t *testing.T) {
+	for i, tc := range convCases() {
+		in, w, bias := randConv(tc, uint64(100+i))
+		want := conv2DNaive(in, w, bias, tc.s, tc.p, tc.relu)
+		for _, workers := range []int{1, 2, 5} {
+			got := Conv2DGEMM(in, w, bias, tc.s, tc.p, tc.relu, workers)
+			if tc.p == 0 {
+				for j := range want.Data {
+					if got.Data[j] != want.Data[j] {
+						t.Fatalf("case %d workers %d: elem %d: gemm %v != naive %v (bit-exact contract)",
+							i, workers, j, got.Data[j], want.Data[j])
+					}
+				}
+			} else if d := tensor.MaxAbsDiff(got, want); d > 1e-5 {
+				t.Fatalf("case %d workers %d: max |diff| = %v", i, workers, d)
+			}
+		}
+	}
+}
+
+// TestConv2DGEMMDeterministicAcrossWorkers asserts the static row-panel split
+// yields bit-identical output for every worker count.
+func TestConv2DGEMMDeterministicAcrossWorkers(t *testing.T) {
+	tc := convCase{16, 30, 30, 32, 3, 1, 1, true, true}
+	in, w, bias := randConv(tc, 42)
+	base := Conv2DGEMM(in, w, bias, tc.s, tc.p, tc.relu, 1)
+	for _, workers := range []int{2, 3, 8, 64} {
+		got := Conv2DGEMM(in, w, bias, tc.s, tc.p, tc.relu, workers)
+		for j := range base.Data {
+			if got.Data[j] != base.Data[j] {
+				t.Fatalf("workers=%d: elem %d differs: %v vs %v", workers, j, got.Data[j], base.Data[j])
+			}
+		}
+	}
+}
+
+// TestIm2colShape spot-checks the patch matrix against direct indexing.
+func TestIm2colShape(t *testing.T) {
+	tc := convCase{c1: 2, h: 5, w: 5, f: 3, s: 1, p: 1}
+	in := tensor.New(tc.c1, tc.h, tc.w)
+	in.FillSeq(7)
+	h2 := (tc.h-tc.f+2*tc.p)/tc.s + 1
+	w2 := (tc.w-tc.f+2*tc.p)/tc.s + 1
+	m := Im2col(in, tc.f, tc.s, tc.p, nil)
+	if len(m) != tc.c1*tc.f*tc.f*h2*w2 {
+		t.Fatalf("im2col size %d", len(m))
+	}
+	for c := 0; c < tc.c1; c++ {
+		for fy := 0; fy < tc.f; fy++ {
+			for fx := 0; fx < tc.f; fx++ {
+				for y := 0; y < h2; y++ {
+					for x := 0; x < w2; x++ {
+						iy, ix := tc.s*y+fy-tc.p, tc.s*x+fx-tc.p
+						want := float32(0)
+						if iy >= 0 && iy < tc.h && ix >= 0 && ix < tc.w {
+							want = in.At(c, iy, ix)
+						}
+						got := m[((c*tc.f+fy)*tc.f+fx)*h2*w2+y*w2+x]
+						if got != want {
+							t.Fatalf("patch (%d,%d,%d) pixel (%d,%d): got %v want %v", c, fy, fx, y, x, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIm2colReusesScratch asserts the dst-threading contract.
+func TestIm2colReusesScratch(t *testing.T) {
+	in := tensor.New(3, 8, 8)
+	in.FillSeq(3)
+	scratch := Im2col(in, 3, 1, 0, nil)
+	again := Im2col(in, 3, 1, 0, scratch)
+	if &again[0] != &scratch[0] {
+		t.Fatal("Im2col allocated despite sufficient scratch")
+	}
+}
+
+func BenchmarkConvGEMMvsNaive(b *testing.B) {
+	tc := convCase{16, 30, 30, 32, 3, 1, 0, true, true}
+	in, w, bias := randConv(tc, 1)
+	for _, mode := range []string{"naive", "gemm1", "gemmN"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				switch mode {
+				case "naive":
+					conv2DNaive(in, w, bias, tc.s, tc.p, tc.relu)
+				case "gemm1":
+					Conv2DGEMM(in, w, bias, tc.s, tc.p, tc.relu, 1)
+				case "gemmN":
+					Conv2DGEMM(in, w, bias, tc.s, tc.p, tc.relu, 0)
+				}
+			}
+		})
+	}
+}

@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"repro/internal/tensor"
 )
@@ -23,7 +22,15 @@ import (
 // Conv2D computes a NCHW 2-D convolution (cross-correlation) with square
 // filter f, stride s and zero padding p, with optional fused bias and ReLU —
 // Eq. 2.1 of the thesis. in: [C1,H1,W1]; w: [C2,C1,F,F]; bias: [C2] or nil.
+// Execution is lowered to im2col + cache-blocked GEMM (gemm.go); the direct
+// loop nest survives as conv2DNaive, the test oracle.
 func Conv2D(in, w, bias *tensor.Tensor, s, p int, relu bool) *tensor.Tensor {
+	return Conv2DGEMM(in, w, bias, s, p, relu, 1)
+}
+
+// conv2DNaive is the direct 6-deep loop nest, kept as the independent oracle
+// the GEMM path is tested against.
+func conv2DNaive(in, w, bias *tensor.Tensor, s, p int, relu bool) *tensor.Tensor {
 	c1, h1, w1 := in.Shape[0], in.Shape[1], in.Shape[2]
 	c2, f := w.Shape[0], w.Shape[2]
 	// Invariant, not input validation: every shape reaching cpuref was
@@ -269,64 +276,17 @@ func Add(a, b *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Conv2DParallel is Conv2D with output channels distributed over worker
-// goroutines — the same axis TVM's x86 schedule parallelizes (§6.4.2). It is
-// used to validate the threading-efficiency story (LeNet's small C2 gains
-// nothing; MobileNet's wide layers scale).
+// Conv2DParallel is Conv2D with output-channel row panels distributed over
+// worker goroutines — the same axis TVM's x86 schedule parallelizes (§6.4.2).
+// It is used to validate the threading-efficiency story (LeNet's small C2
+// gains nothing; MobileNet's wide layers scale). The panels are contiguous
+// and statically assigned, so the result is identical for every worker count.
 func Conv2DParallel(in, w, bias *tensor.Tensor, s, p int, relu bool, workers int) *tensor.Tensor {
-	if workers <= 1 {
-		return Conv2D(in, w, bias, s, p, relu)
-	}
 	if workers > runtime.NumCPU()*4 {
 		workers = runtime.NumCPU() * 4
 	}
-	c1, h1, w1 := in.Shape[0], in.Shape[1], in.Shape[2]
-	c2, f := w.Shape[0], w.Shape[2]
-	h2 := (h1-f+2*p)/s + 1
-	w2 := (w1-f+2*p)/s + 1
-	out := tensor.New(c2, h2, w2)
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range ch {
-				var b float32
-				if bias != nil {
-					b = bias.At(k)
-				}
-				for y := 0; y < h2; y++ {
-					for x := 0; x < w2; x++ {
-						sum := b
-						for c := 0; c < c1; c++ {
-							for fy := 0; fy < f; fy++ {
-								iy := s*y + fy - p
-								if iy < 0 || iy >= h1 {
-									continue
-								}
-								for fx := 0; fx < f; fx++ {
-									ix := s*x + fx - p
-									if ix < 0 || ix >= w1 {
-										continue
-									}
-									sum += in.At(c, iy, ix) * w.At(k, c, fy, fx)
-								}
-							}
-						}
-						if relu && sum < 0 {
-							sum = 0
-						}
-						out.Set(sum, k, y, x)
-					}
-				}
-			}
-		}()
+	if workers < 1 {
+		workers = 1
 	}
-	for k := 0; k < c2; k++ {
-		ch <- k
-	}
-	close(ch)
-	wg.Wait()
-	return out
+	return Conv2DGEMM(in, w, bias, s, p, relu, workers)
 }

@@ -1,0 +1,196 @@
+package host
+
+// Execution arenas: persistent per-worker functional execution state for the
+// batch engine. The seed Infer paths allocate a fresh sim.Machine (and, for
+// folded plans, one per invocation) for every image, so a batch of N images
+// pays N× the closure-compilation and buffer-allocation cost. An arena keeps
+// one warm Machine per worker: kernels compile once, output/scratch slices
+// come from a sync.Pool-backed arena and are reused (zeroed) across images,
+// and channel FIFO storage persists. The returned closure is bit-identical to
+// the cold-machine Infer because every piece of machine state a kernel can
+// observe — scratches, outputs, channels, Alloc-ed temporaries — is reset to
+// the cold-start contents (all zeros, empty FIFOs) before each image.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// inferFn runs one image functionally and returns a freshly allocated output
+// tensor (safe to retain across subsequent calls).
+type inferFn func(*tensor.Tensor) (*tensor.Tensor, error)
+
+// arenaCache keeps warm arenas alive across RunBatch calls on a deployment,
+// so repeated batches stop recompiling kernels and reallocating buffers.
+// Workers check an arena out for the duration of a batch and return it
+// afterwards; concurrent batches on one deployment simply build extra arenas
+// instead of sharing one (an arena itself is single-threaded).
+type arenaCache struct {
+	mu   sync.Mutex
+	pool *sim.BufPool
+	free []inferFn
+}
+
+// bufPool returns the cache's shared slice pool, creating it on first use.
+func (c *arenaCache) bufPool() *sim.BufPool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pool == nil {
+		c.pool = &sim.BufPool{}
+	}
+	return c.pool
+}
+
+// checkout hands out a cached arena, or builds one with mk when none is free.
+func (c *arenaCache) checkout(mk func(*sim.BufPool) inferFn) inferFn {
+	pool := c.bufPool()
+	c.mu.Lock()
+	if n := len(c.free); n > 0 {
+		fn := c.free[n-1]
+		c.free = c.free[:n-1]
+		c.mu.Unlock()
+		return fn
+	}
+	c.mu.Unlock()
+	return mk(pool)
+}
+
+// checkin returns an arena to the cache.
+func (c *arenaCache) checkin(fn inferFn) {
+	c.mu.Lock()
+	c.free = append(c.free, fn)
+	c.mu.Unlock()
+}
+
+// NewArena returns a warm-machine inference closure for a pipelined
+// deployment. The closure is NOT safe for concurrent use; the batch engine
+// gives each worker its own arena. pool may be shared across arenas (it is
+// sync.Pool-backed); nil uses plain allocation.
+func (p *Pipelined) NewArena(pool *sim.BufPool) inferFn {
+	m := sim.NewMachine()
+	m.SetPool(pool)
+	// zero collects every slice that must be cleared before each image so a
+	// warm run starts from the same state as a cold one.
+	var zero [][]float32
+	for i, st := range p.stages {
+		bindStageTensors(m, st)
+		for _, sc := range st.op.Scratches {
+			if data := m.Buffer(sc); data != nil {
+				zero = append(zero, data)
+			}
+		}
+		if st.op.Out != nil {
+			var n int64
+			if i == len(p.stages)-1 {
+				n = 1
+				for _, d := range p.outShape {
+					n *= int64(d)
+				}
+			} else {
+				n, _ = st.op.Out.ConstLen()
+			}
+			data := m.Grab(int(n))
+			m.Bind(st.op.Out, data)
+			zero = append(zero, data)
+		}
+	}
+	// Consumer inputs alias their producer's output, as in Infer; network
+	// inputs are rebound per image.
+	var netIns []*ir.Buffer
+	kernels := make([]*ir.Kernel, 0, len(p.stages))
+	for _, st := range p.stages {
+		if st.op.In != nil {
+			if st.layer.In < 0 {
+				netIns = append(netIns, st.op.In)
+			} else {
+				m.Bind(st.op.In, m.Buffer(p.stages[st.layer.In].op.Out))
+			}
+		}
+		kernels = append(kernels, st.op.Kernel)
+	}
+	return func(input *tensor.Tensor) (*tensor.Tensor, error) {
+		for _, s := range zero {
+			clear(s)
+		}
+		m.ResetChannels()
+		for _, b := range netIns {
+			m.Bind(b, input.Data)
+		}
+		if err := m.RunGraph(kernels, nil); err != nil {
+			return nil, err
+		}
+		out := tensor.New(p.outShape...)
+		copy(out.Data, m.Buffer(p.outBuf))
+		return out, nil
+	}
+}
+
+// NewArena returns a warm-machine inference closure for a folded deployment.
+// One Machine executes the whole plan (the seed Infer spins up a Machine per
+// invocation), so each parameterized kernel compiles exactly once per worker;
+// per-invocation buffer arguments are rebound the way the host passes new
+// cl_mem arguments. Not safe for concurrent use.
+func (f *Folded) NewArena(pool *sim.BufPool) inferFn {
+	m := sim.NewMachine()
+	m.SetPool(pool)
+	outs := make([][]float32, len(f.Layers))
+	scratch := map[*ir.Buffer][]float32{}
+	for _, inv := range f.plan {
+		if outs[inv.outIdx] == nil {
+			outs[inv.outIdx] = m.Grab(f.outBytes[inv.outIdx] / 4)
+		}
+		for _, sc := range inv.op.Scratches {
+			if n, ok := sc.ConstLen(); ok && scratch[sc] == nil {
+				scratch[sc] = m.Grab(int(n))
+			}
+		}
+	}
+	return func(input *tensor.Tensor) (*tensor.Tensor, error) {
+		for _, o := range outs {
+			if o != nil {
+				clear(o)
+			}
+		}
+		get := func(idx int) []float32 {
+			if idx < 0 {
+				return input.Data
+			}
+			return outs[idx]
+		}
+		for _, inv := range f.plan {
+			op, l := inv.op, inv.layer
+			if op.In != nil {
+				m.Bind(op.In, get(inv.inIdx))
+			}
+			if op.Weights != nil {
+				m.Bind(op.Weights, l.W.Data)
+			}
+			if op.Bias != nil {
+				m.Bind(op.Bias, l.B.Data)
+			}
+			if op.Skip != nil {
+				m.Bind(op.Skip, get(inv.skipIdx))
+			}
+			for _, sc := range op.Scratches {
+				if s := scratch[sc]; s != nil {
+					// Zeroed per invocation: a cold Infer binds a fresh slice
+					// each time, and the same op can serve many layers.
+					clear(s)
+					m.Bind(sc, s)
+				}
+			}
+			m.Bind(op.Out, outs[inv.outIdx])
+			if err := m.Run(inv.kernel, inv.bindings); err != nil {
+				return nil, fmt.Errorf("host: layer %s: %w", l.Name, err)
+			}
+		}
+		last := f.plan[len(f.plan)-1]
+		out := tensor.New(f.outShape...)
+		copy(out.Data, outs[last.outIdx])
+		return out, nil
+	}
+}

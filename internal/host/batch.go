@@ -1,0 +1,515 @@
+package host
+
+// Batched, parallel inference: RunBatch streams N images through a bounded
+// worker pool. Each worker owns (a) a warm functional arena (arena.go) that
+// produces the actual outputs, and (b) its own simulated device context whose
+// modeled time reflects double-buffered H2D/D2H transfer/compute overlap —
+// the thesis's concurrent-queue optimization applied across images instead of
+// across layers. Images are striped statically (image i → worker i mod K), so
+// outputs, modeled time per worker, and the per-image fault ledgers are all
+// deterministic for a given worker count, and the outputs are bit-identical
+// to N sequential Infer calls for every worker count.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/clrt"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/relay"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// BatchOptions configures a RunBatch call. The zero value is usable: all
+// available CPUs, no cancellation, no tracing, no fault injection.
+type BatchOptions struct {
+	// Workers bounds the worker pool; <=0 selects GOMAXPROCS. Clamped to the
+	// batch size.
+	Workers int
+	// Context cancels the batch between images; nil means Background.
+	Context context.Context
+	// Trace receives per-image spans, per-worker device timelines and batch
+	// metrics (images/sec, overlap ratio). Nil disables tracing.
+	Trace *trace.Collector
+	// FaultSeed/FaultRate derive one deterministic injector per image
+	// (seed+image index), so the ledger attributes every fault to the image
+	// whose commands provoked it regardless of worker count. Rate 0 disables
+	// injection.
+	FaultSeed int64
+	FaultRate float64
+	// MaxRetries bounds retries per device command (default 3); BackoffUS is
+	// the initial retry backoff in simulated microseconds, doubled per attempt
+	// (default 50).
+	MaxRetries int
+	BackoffUS  float64
+	// NoDoubleBuffer uses depth-1 buffer rings (the serial-transfer ablation).
+	NoDoubleBuffer bool
+}
+
+// BatchFault is one injected fault attributed to the image whose commands
+// provoked it.
+type BatchFault struct {
+	Image  int
+	Record fault.Record
+}
+
+// BatchResult is the outcome of a RunBatch call.
+type BatchResult struct {
+	// Outputs[i] is the network output for inputs[i], bit-identical to a
+	// sequential Infer(inputs[i]).
+	Outputs []*tensor.Tensor
+	Images  int
+	Workers int
+	// ModeledUS is the simulated wall time of the batch: the max over workers
+	// of their device-context elapsed time (setup transfers excluded).
+	ModeledUS    float64
+	ImagesPerSec float64
+	// Overlap aggregates transfer/compute overlap across workers; Ratio near
+	// 0 means transfers serialized with kernels, higher means hidden.
+	Overlap clrt.Overlap
+	// Faults lists injected faults in image order; Retries counts device
+	// commands re-enqueued after transient faults.
+	Faults  []BatchFault
+	Retries int
+}
+
+// timedBatch is one worker's device model: a programmed context with
+// parameters uploaded (outside the measured window), transfer queues, and a
+// closure enqueuing one image's kernels between a pair of ring buffers.
+type timedBatch struct {
+	ctx           *clrt.Context
+	writeQ, readQ *clrt.Queue
+	inBytes       int
+	outBytes      int
+	setupEvents   int
+	// enqueue enqueues the image's kernels reading devIn and writing devOut,
+	// wrapping every device call in try for fault retry.
+	enqueue func(devIn, devOut *clrt.Buffer, try tryFn) error
+}
+
+// tryFn wraps one device command in bounded retry-with-backoff.
+type tryFn func(op func() (*clrt.Event, error)) (*clrt.Event, error)
+
+// RunBatch classifies a batch of images on a pipelined deployment. See
+// BatchOptions/BatchResult; outputs are bit-identical to sequential Infer.
+func (p *Pipelined) RunBatch(inputs []*tensor.Tensor, opt BatchOptions) (*BatchResult, error) {
+	return runBatch(inputs, opt, &p.arenas, p.NewArena, p.newTimedBatch)
+}
+
+// RunBatch classifies a batch of images on a folded deployment.
+func (f *Folded) RunBatch(inputs []*tensor.Tensor, opt BatchOptions) (*BatchResult, error) {
+	return runBatch(inputs, opt, &f.arenas, f.NewArena, f.newTimedBatch)
+}
+
+// newTimedBatch programs one worker device for a pipelined deployment.
+// Kernels get one queue each (concurrent execution, §4.8); host-side
+// transfers run on dedicated write/read queues so ring-buffer hazards — not
+// queue order — decide what serializes.
+func (p *Pipelined) newTimedBatch() (*timedBatch, error) {
+	if err := p.Design.Err(); err != nil {
+		return nil, err
+	}
+	ctx, err := clrt.NewContext(p.Design)
+	if err != nil {
+		return nil, err
+	}
+	bufs := map[*ir.Buffer]*clrt.Buffer{}
+	devBuf := func(b *ir.Buffer) *clrt.Buffer {
+		if d, ok := bufs[b]; ok {
+			return d
+		}
+		sz, _ := b.ConstLen()
+		d := ctx.NewBuffer(b.Name, int(sz)*4)
+		bufs[b] = d
+		return d
+	}
+	setup := ctx.NewQueue()
+	for _, st := range p.stages {
+		if st.op.Weights != nil {
+			if _, err := setup.EnqueueWrite(devBuf(st.op.Weights), st.layer.W.Bytes()); err != nil {
+				return nil, err
+			}
+		}
+		if st.op.Bias != nil {
+			if _, err := setup.EnqueueWrite(devBuf(st.op.Bias), st.layer.B.Bytes()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ctx.Finish()
+
+	tb := &timedBatch{ctx: ctx, setupEvents: len(ctx.Events())}
+	tb.writeQ, tb.readQ = ctx.NewQueue(), ctx.NewQueue()
+	queues := map[string]*clrt.Queue{}
+	queueFor := func(name string) *clrt.Queue {
+		if q, ok := queues[name]; ok {
+			return q
+		}
+		q := ctx.NewQueue()
+		queues[name] = q
+		return q
+	}
+	tb.inBytes, tb.outBytes = 4, 4
+	for _, d := range p.inShape {
+		tb.inBytes *= d
+	}
+	for _, d := range p.outShape {
+		tb.outBytes *= d
+	}
+	tb.enqueue = func(devIn, devOut *clrt.Buffer, try tryFn) error {
+		for _, st := range p.stages {
+			if st.op.Kernel.Autorun {
+				continue
+			}
+			call := clrt.KernelCall{Name: st.op.Kernel.Name}
+			if st.op.In != nil {
+				if st.layer.In < 0 {
+					call.Reads = append(call.Reads, devIn)
+				} else {
+					call.Reads = append(call.Reads, devBuf(p.stages[st.layer.In].op.Out))
+				}
+			}
+			for _, b := range []*ir.Buffer{st.op.Weights, st.op.Bias} {
+				if b != nil {
+					call.Reads = append(call.Reads, devBuf(b))
+				}
+			}
+			for _, b := range st.op.Scratches {
+				call.Writes = append(call.Writes, devBuf(b))
+			}
+			if st.op.Out != nil {
+				if st.op.Out == p.outBuf {
+					call.Writes = append(call.Writes, devOut)
+				} else {
+					call.Writes = append(call.Writes, devBuf(st.op.Out))
+				}
+			}
+			q := queueFor(call.Name)
+			if _, err := try(func() (*clrt.Event, error) { return q.EnqueueKernel(call) }); err != nil {
+				return fmt.Errorf("kernel %s: %w", call.Name, err)
+			}
+		}
+		return nil
+	}
+	return tb, nil
+}
+
+// newTimedBatch programs one worker device for a folded deployment: a single
+// kernel queue (folded kernels time-multiplex one datapath, §4.11) plus
+// dedicated transfer queues and persistent activation/scratch buffers.
+func (f *Folded) newTimedBatch() (*timedBatch, error) {
+	if err := f.Design.Err(); err != nil {
+		return nil, err
+	}
+	ctx, err := clrt.NewContext(f.Design)
+	if err != nil {
+		return nil, err
+	}
+	setup := ctx.NewQueue()
+	outBufs := make([]*clrt.Buffer, len(f.Layers))
+	actOf := func(idx int) *clrt.Buffer {
+		if outBufs[idx] == nil {
+			outBufs[idx] = ctx.NewBuffer(fmt.Sprintf("act%d", idx), f.outBytes[idx])
+		}
+		return outBufs[idx]
+	}
+	wBufs := map[*relay.Layer]*clrt.Buffer{}
+	bBufs := map[*relay.Layer]*clrt.Buffer{}
+	for _, inv := range f.plan {
+		if inv.layer.W != nil && inv.op.Weights != nil && wBufs[inv.layer] == nil {
+			b := ctx.NewBuffer(inv.layer.Name+"_w", inv.layer.W.Bytes())
+			wBufs[inv.layer] = b
+			if _, err := setup.EnqueueWrite(b, inv.layer.W.Bytes()); err != nil {
+				return nil, err
+			}
+		}
+		if inv.layer.B != nil && inv.op.Bias != nil && bBufs[inv.layer] == nil {
+			b := ctx.NewBuffer(inv.layer.Name+"_b", inv.layer.B.Bytes())
+			bBufs[inv.layer] = b
+			if _, err := setup.EnqueueWrite(b, inv.layer.B.Bytes()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	scratchBufs := map[*ir.Buffer]*clrt.Buffer{}
+	for _, inv := range f.plan {
+		for _, sc := range inv.op.Scratches {
+			if n, ok := sc.ConstLen(); ok && scratchBufs[sc] == nil {
+				scratchBufs[sc] = ctx.NewBuffer(sc.Name, int(n)*4)
+			}
+		}
+	}
+	ctx.Finish()
+
+	tb := &timedBatch{ctx: ctx, setupEvents: len(ctx.Events())}
+	tb.writeQ, tb.readQ = ctx.NewQueue(), ctx.NewQueue()
+	kq := ctx.NewQueue()
+	tb.inBytes, tb.outBytes = 4, 4
+	for _, d := range f.inShape {
+		tb.inBytes *= d
+	}
+	for _, d := range f.outShape {
+		tb.outBytes *= d
+	}
+	last := f.plan[len(f.plan)-1]
+	tb.enqueue = func(devIn, devOut *clrt.Buffer, try tryFn) error {
+		devAct := func(idx int) *clrt.Buffer {
+			if idx < 0 {
+				return devIn
+			}
+			if idx == last.outIdx {
+				return devOut
+			}
+			return actOf(idx)
+		}
+		for _, inv := range f.plan {
+			call := clrt.KernelCall{Name: inv.kernel.Name, Bindings: inv.bindings,
+				Reads: []*clrt.Buffer{devAct(inv.inIdx)}}
+			if b := wBufs[inv.layer]; b != nil {
+				call.Reads = append(call.Reads, b)
+			}
+			if b := bBufs[inv.layer]; b != nil {
+				call.Reads = append(call.Reads, b)
+			}
+			if inv.skipIdx >= 0 || (inv.layer.HasSkip && inv.skipIdx == -1) {
+				call.Reads = append(call.Reads, devAct(inv.skipIdx))
+			}
+			for _, sc := range inv.op.Scratches {
+				if b := scratchBufs[sc]; b != nil {
+					call.Writes = append(call.Writes, b)
+				}
+			}
+			call.Writes = append(call.Writes, devAct(inv.outIdx))
+			if _, err := try(func() (*clrt.Event, error) { return kq.EnqueueKernel(call) }); err != nil {
+				return fmt.Errorf("kernel %s (layer %s): %w", call.Name, inv.layer.Name, err)
+			}
+		}
+		return nil
+	}
+	return tb, nil
+}
+
+// wstat is one worker's contribution to the batch result.
+type wstat struct {
+	elapsed float64
+	overlap clrt.Overlap
+	retries int
+	spans   []trace.Span
+	events  []*clrt.Event
+	err     error
+}
+
+func runBatch(inputs []*tensor.Tensor, opt BatchOptions, cache *arenaCache,
+	newArena func(*sim.BufPool) inferFn,
+	newTimed func() (*timedBatch, error)) (*BatchResult, error) {
+
+	n := len(inputs)
+	res := &BatchResult{Images: n}
+	if n == 0 {
+		return res, nil
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	res.Workers = workers
+	cctx := opt.Context
+	if cctx == nil {
+		cctx = context.Background()
+	}
+
+	outputs := make([]*tensor.Tensor, n)
+	ledgers := make([][]fault.Record, n)
+	stats := make([]wstat, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stats[w] = runBatchWorker(w, workers, inputs, outputs, ledgers, opt, cctx, cache, newArena, newTimed)
+		}(w)
+	}
+	wg.Wait()
+	for w := range stats {
+		if stats[w].err != nil {
+			return nil, fmt.Errorf("host: batch worker %d: %w", w, stats[w].err)
+		}
+	}
+
+	res.Outputs = outputs
+	for w, st := range stats {
+		res.Retries += st.retries
+		if st.elapsed > res.ModeledUS {
+			res.ModeledUS = st.elapsed
+		}
+		res.Overlap.TransferUS += st.overlap.TransferUS
+		res.Overlap.KernelUS += st.overlap.KernelUS
+		res.Overlap.HiddenUS += st.overlap.HiddenUS
+		if tc := opt.Trace; tc != nil {
+			tc.AddEventsAs(fmt.Sprintf("device w%d", w), st.events, st.elapsed, 0)
+			for _, sp := range st.spans {
+				tc.Add(sp)
+			}
+		}
+	}
+	if res.Overlap.TransferUS > 0 {
+		res.Overlap.Ratio = res.Overlap.HiddenUS / res.Overlap.TransferUS
+	}
+	if res.ModeledUS > 0 {
+		res.ImagesPerSec = float64(n) / res.ModeledUS * 1e6
+	}
+	for img, recs := range ledgers {
+		for _, r := range recs {
+			res.Faults = append(res.Faults, BatchFault{Image: img, Record: r})
+		}
+		opt.Trace.AddFaults(recs, 0)
+	}
+	if tc := opt.Trace; tc != nil {
+		tc.Metrics().Counter("host.batch.images").Add(int64(n))
+		tc.Metrics().Gauge("host.batch.workers").Set(float64(workers))
+		tc.Metrics().Gauge("host.batch.images_per_sec").Set(res.ImagesPerSec)
+		tc.Metrics().Gauge("host.batch.overlap_ratio").Set(res.Overlap.Ratio)
+	}
+	return res, nil
+}
+
+// runBatchWorker drives the images striped to one worker: functional results
+// through a warm arena, modeled time through a software-pipelined enqueue
+// loop (write i → kernels i → read i-1) over depth-2 buffer rings, bounded
+// retry on transient injected faults, and a per-image injector whose ledger
+// is collected as soon as the image's last command has been enqueued.
+func runBatchWorker(w, workers int, inputs, outputs []*tensor.Tensor, ledgers [][]fault.Record,
+	opt BatchOptions, cctx context.Context, cache *arenaCache,
+	newArena func(*sim.BufPool) inferFn, newTimed func() (*timedBatch, error)) wstat {
+
+	st := wstat{}
+	maxRetries := opt.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 3
+	}
+	backoff0 := opt.BackoffUS
+	if backoff0 == 0 {
+		backoff0 = 50
+	}
+	depth := 2
+	if opt.NoDoubleBuffer {
+		depth = 1
+	}
+
+	infer := cache.checkout(newArena)
+	defer cache.checkin(infer)
+	tb, err := newTimed()
+	if err != nil {
+		st.err = err
+		return st
+	}
+	start := tb.ctx.ElapsedUS()
+	inRing := tb.ctx.NewBufferRing("batch_in", tb.inBytes, depth)
+	outRing := tb.ctx.NewBufferRing("batch_out", tb.outBytes, depth)
+
+	try := func(op func() (*clrt.Event, error)) (*clrt.Event, error) {
+		backoff := backoff0
+		for attempt := 0; ; attempt++ {
+			ev, err := op()
+			if err == nil {
+				return ev, nil
+			}
+			if !fault.IsTransient(err) || attempt >= maxRetries {
+				return ev, fmt.Errorf("after %d attempt(s): %w", attempt+1, err)
+			}
+			st.retries++
+			tb.ctx.AdvanceHost(backoff)
+			backoff *= 2
+		}
+	}
+
+	// pending is an image whose D2H read is deferred one iteration so it can
+	// overlap the next image's kernels (the software pipeline's drain stage).
+	type pending struct {
+		img   int
+		buf   *clrt.Buffer
+		inj   *fault.Injector
+		write *clrt.Event
+	}
+	flush := func(p *pending) error {
+		tb.ctx.Injector = p.inj
+		rev, err := try(func() (*clrt.Event, error) { return tb.readQ.EnqueueRead(p.buf, tb.outBytes) })
+		if err != nil {
+			return fmt.Errorf("image %d output read: %w", p.img, err)
+		}
+		if p.inj != nil {
+			ledgers[p.img] = p.inj.Records()
+		}
+		if opt.Trace != nil && p.write != nil && rev != nil {
+			st.spans = append(st.spans, trace.Span{
+				Proc:    "host",
+				Track:   fmt.Sprintf("batch w%d", w),
+				Name:    fmt.Sprintf("image %d", p.img),
+				Cat:     "image",
+				StartUS: p.write.StartUS,
+				DurUS:   rev.EndUS - p.write.StartUS,
+				Args:    map[string]string{"worker": fmt.Sprintf("%d", w)},
+			})
+		}
+		return nil
+	}
+
+	var prev *pending
+	for img := w; img < len(inputs); img += workers {
+		select {
+		case <-cctx.Done():
+			st.err = cctx.Err()
+			return st
+		default:
+		}
+		out, err := infer(inputs[img])
+		if err != nil {
+			st.err = fmt.Errorf("image %d: %w", img, err)
+			return st
+		}
+		outputs[img] = out
+
+		var inj *fault.Injector
+		if opt.FaultRate > 0 {
+			inj = fault.NewInjector(opt.FaultSeed+int64(img)+1, opt.FaultRate)
+		}
+		tb.ctx.Injector = inj
+		devIn, devOut := inRing.Next(), outRing.Next()
+		wev, err := try(func() (*clrt.Event, error) { return tb.writeQ.EnqueueWrite(devIn, tb.inBytes) })
+		if err != nil {
+			st.err = fmt.Errorf("image %d input write: %w", img, err)
+			return st
+		}
+		if err := tb.enqueue(devIn, devOut, try); err != nil {
+			st.err = fmt.Errorf("image %d: %w", img, err)
+			return st
+		}
+		cur := &pending{img: img, buf: devOut, inj: inj, write: wev}
+		if prev != nil {
+			if err := flush(prev); err != nil {
+				st.err = err
+				return st
+			}
+		}
+		prev = cur
+	}
+	if prev != nil {
+		if err := flush(prev); err != nil {
+			st.err = err
+			return st
+		}
+	}
+	tb.ctx.Finish()
+	st.elapsed = tb.ctx.ElapsedUS() - start
+	st.overlap = tb.ctx.OverlapSince(start)
+	st.events = tb.ctx.Events()[tb.setupEvents:]
+	return st
+}

@@ -1,0 +1,239 @@
+package host
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/aoc"
+	"repro/internal/fpga"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+func batchInputs(n int) []*tensor.Tensor {
+	ins := make([]*tensor.Tensor, n)
+	for i := range ins {
+		ins[i] = nn.Digit(i % 10)
+	}
+	return ins
+}
+
+// bitEqual asserts two tensors are identical to the bit, not just close:
+// RunBatch's contract is exact equivalence with sequential Infer.
+func bitEqual(t *testing.T, tag string, got, want *tensor.Tensor) {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("%s: length %d vs %d", tag, len(got.Data), len(want.Data))
+	}
+	for j := range want.Data {
+		if got.Data[j] != want.Data[j] {
+			t.Fatalf("%s: elem %d: %v != %v (bit-exact contract)", tag, j, got.Data[j], want.Data[j])
+		}
+	}
+}
+
+// batchDeployments builds the three deployment shapes the batch engine must
+// serve: a channel/autorun pipeline, a plain buffered pipeline, and a folded
+// plan with parameterized kernels.
+func batchDeployments(t *testing.T) map[string]interface {
+	Infer(*tensor.Tensor) (*tensor.Tensor, error)
+	RunBatch([]*tensor.Tensor, BatchOptions) (*BatchResult, error)
+} {
+	t.Helper()
+	layers := lenetLayers(t)
+	out := map[string]interface {
+		Infer(*tensor.Tensor) (*tensor.Tensor, error)
+		RunBatch([]*tensor.Tensor, BatchOptions) (*BatchResult, error)
+	}{}
+	for _, v := range []PipeVariant{PipeTVMAutorun, PipeBase} {
+		p, err := BuildPipelined(layers, v, fpga.S10SX, aoc.DefaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["pipelined-"+v.String()] = p
+	}
+	f, err := BuildFolded(layers, lenetFoldedConfig(), fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["folded"] = f
+	return out
+}
+
+// TestRunBatchMatchesSequential is the batch/serial equivalence property
+// test: for every deployment shape and worker count, RunBatch outputs must be
+// bit-identical to N sequential Infer calls.
+func TestRunBatchMatchesSequential(t *testing.T) {
+	const n = 12
+	inputs := batchInputs(n)
+	for name, dep := range batchDeployments(t) {
+		want := make([]*tensor.Tensor, n)
+		for i, in := range inputs {
+			w, err := dep.Infer(in)
+			if err != nil {
+				t.Fatalf("%s: sequential image %d: %v", name, i, err)
+			}
+			want[i] = w
+		}
+		for _, workers := range []int{1, 2, 8} {
+			res, err := dep.RunBatch(inputs, BatchOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if res.Images != n || len(res.Outputs) != n {
+				t.Fatalf("%s workers=%d: %d/%d outputs", name, workers, len(res.Outputs), res.Images)
+			}
+			if res.ModeledUS <= 0 || res.ImagesPerSec <= 0 {
+				t.Fatalf("%s workers=%d: no modeled time (%v us, %v img/s)", name, workers, res.ModeledUS, res.ImagesPerSec)
+			}
+			for i := range inputs {
+				bitEqual(t, name, res.Outputs[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunBatchFaultLedgerDeterministic checks the fault-attribution property:
+// under injection, outputs stay bit-identical to fault-free sequential runs
+// (transient faults are absorbed by retry) and the per-image fault ledger is
+// identical for every worker count.
+func TestRunBatchFaultLedgerDeterministic(t *testing.T) {
+	const n = 16
+	layers := lenetLayers(t)
+	p, err := BuildPipelined(layers, PipeTVMAutorun, fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := batchInputs(n)
+	want := make([]*tensor.Tensor, n)
+	for i, in := range inputs {
+		if want[i], err = p.Infer(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := BatchOptions{FaultSeed: 42, FaultRate: 0.04, MaxRetries: 8}
+	var ref *BatchResult
+	for _, workers := range []int{1, 2, 8} {
+		o := opts
+		o.Workers = workers
+		res, err := p.RunBatch(inputs, o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range inputs {
+			bitEqual(t, "faulted batch", res.Outputs[i], want[i])
+		}
+		if ref == nil {
+			ref = res
+			if len(res.Faults) == 0 {
+				t.Fatal("fault rate 0.04 over 16 LeNet images injected nothing; test is vacuous")
+			}
+			continue
+		}
+		if len(res.Faults) != len(ref.Faults) {
+			t.Fatalf("workers=%d: %d faults vs %d at workers=1", workers, len(res.Faults), len(ref.Faults))
+		}
+		// Op is excluded from the comparison: it names the physical ring slot
+		// ("write batch_in[0]"), and which slot an image lands on depends on
+		// the worker striping. Image index, kind, code and per-image sequence
+		// are the attribution invariants.
+		for i, bf := range res.Faults {
+			rf := ref.Faults[i]
+			if bf.Image != rf.Image || bf.Record.Kind != rf.Record.Kind ||
+				bf.Record.Seq != rf.Record.Seq || bf.Record.Code != rf.Record.Code {
+				t.Fatalf("workers=%d: fault %d = {img %d %s seq %d}, want {img %d %s seq %d}",
+					res.Workers, i, bf.Image, bf.Record.Kind, bf.Record.Seq,
+					rf.Image, rf.Record.Kind, rf.Record.Seq)
+			}
+		}
+		if res.Retries != ref.Retries {
+			t.Fatalf("workers=%d: %d retries vs %d at workers=1", workers, res.Retries, ref.Retries)
+		}
+	}
+}
+
+// TestRunBatchDoubleBufferingHelps: with double buffering on (default), the
+// modeled batch time must beat the depth-1 ablation and hide more transfer
+// time behind kernels.
+func TestRunBatchDoubleBufferingHelps(t *testing.T) {
+	const n = 16
+	layers := lenetLayers(t)
+	f, err := BuildFolded(layers, lenetFoldedConfig(), fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := batchInputs(n)
+	db, err := f.RunBatch(inputs, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := f.RunBatch(inputs, BatchOptions{Workers: 1, NoDoubleBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.ModeledUS >= serial.ModeledUS {
+		t.Fatalf("double buffering did not help: %v >= %v us", db.ModeledUS, serial.ModeledUS)
+	}
+	if db.Overlap.Ratio <= serial.Overlap.Ratio {
+		t.Fatalf("overlap ratio did not improve: %v <= %v", db.Overlap.Ratio, serial.Overlap.Ratio)
+	}
+}
+
+// TestRunBatchCancellation: a canceled context stops the batch with the
+// context's error instead of finishing the work.
+func TestRunBatchCancellation(t *testing.T) {
+	layers := lenetLayers(t)
+	p, err := BuildPipelined(layers, PipeBase, fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunBatch(batchInputs(8), BatchOptions{Workers: 2, Context: cctx}); err == nil {
+		t.Fatal("canceled batch returned no error")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not carry the context cause: %v", err)
+	}
+}
+
+// TestRunBatchTrace: the batch publishes per-image spans, per-worker device
+// processes and throughput gauges to the collector.
+func TestRunBatchTrace(t *testing.T) {
+	const n = 6
+	layers := lenetLayers(t)
+	p, err := BuildPipelined(layers, PipeTVMAutorun, fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := trace.NewCollector()
+	res, err := p.RunBatch(batchInputs(n), BatchOptions{Workers: 2, Trace: tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	images, device := 0, 0
+	for _, sp := range tc.Spans() {
+		if sp.Cat == "image" {
+			images++
+		}
+		if sp.Proc == "device w0" || sp.Proc == "device w1" {
+			device++
+		}
+	}
+	if images != n {
+		t.Fatalf("%d image spans, want %d", images, n)
+	}
+	if device == 0 {
+		t.Fatal("no per-worker device spans")
+	}
+	if got := tc.Metrics().Gauge("host.batch.images_per_sec").Value(); got != res.ImagesPerSec {
+		t.Fatalf("images_per_sec gauge %v != result %v", got, res.ImagesPerSec)
+	}
+	if got := tc.Metrics().Gauge("host.batch.overlap_ratio").Value(); got != res.Overlap.Ratio {
+		t.Fatalf("overlap_ratio gauge %v != result %v", got, res.Overlap.Ratio)
+	}
+	if got := tc.Metrics().Counter("host.batch.images").Value(); got != int64(n) {
+		t.Fatalf("images counter %d != %d", got, n)
+	}
+}

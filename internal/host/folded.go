@@ -72,6 +72,9 @@ type Folded struct {
 	// outBytes[i] is the byte size of layer i's output buffer.
 	outBytes []int
 	outIdxOf map[int]int // layer index -> buffer-producing layer index (flatten aliasing)
+
+	// arenas caches warm batch-worker execution state across RunBatch calls.
+	arenas arenaCache
 }
 
 // BuildFolded generates the kernel set and execution plan for a network.

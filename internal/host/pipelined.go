@@ -97,6 +97,9 @@ type Pipelined struct {
 	outBuf   *ir.Buffer // network output
 	inShape  []int
 	outShape []int
+
+	// arenas caches warm batch-worker execution state across RunBatch calls.
+	arenas arenaCache
 }
 
 // BuildPipelined generates one kernel per layer according to the variant

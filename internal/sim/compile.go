@@ -14,9 +14,12 @@ import (
 )
 
 // cenv is the compiled execution environment: loop variables and scalar
-// parameters live in slots.
+// parameters live in int slots, and each buffer the kernel touches has a
+// resolved-slice slot filled lazily on first access — one machine-map lookup
+// per buffer per run instead of one per element access.
 type cenv struct {
 	ints []int64
+	bufs [][]float32
 	m    *Machine
 }
 
@@ -25,6 +28,11 @@ type compiledKernel struct {
 	run    stmtFn
 	slots  map[*ir.Var]int
 	nSlots int
+	nBufs  int
+	// env is reused across runs (machines are single-threaded): int slots
+	// are always written before read, so only the buffer-resolution cache
+	// needs clearing between runs.
+	env *cenv
 }
 
 type intFn func(*cenv) int64
@@ -33,10 +41,11 @@ type stmtFn func(*cenv)
 
 // compiler assigns variable slots and resolves buffers.
 type compiler struct {
-	m      *Machine
-	slots  map[*ir.Var]int
-	nSlots int
-	kernel *ir.Kernel
+	m        *Machine
+	slots    map[*ir.Var]int
+	nSlots   int
+	bufSlots map[*ir.Buffer]int
+	kernel   *ir.Kernel
 }
 
 func (c *compiler) slot(v *ir.Var) int {
@@ -49,28 +58,78 @@ func (c *compiler) slot(v *ir.Var) int {
 	return s
 }
 
-// bufferRef resolves data lazily: Alloc statements bind buffers during
-// execution, so the closure must read the machine map at first touch.
+func (c *compiler) bufSlot(b *ir.Buffer) int {
+	s, ok := c.bufSlots[b]
+	if !ok {
+		s = len(c.bufSlots)
+		c.bufSlots[b] = s
+	}
+	return s
+}
+
+// bufferRef resolves data lazily into the environment's buffer slot: Alloc
+// statements bind buffers during execution, so the first touch must read the
+// machine map, but every later access in the same run hits the cached slice.
 func (c *compiler) bufferRef(b *ir.Buffer) func(*cenv) []float32 {
+	s := c.bufSlot(b)
 	return func(e *cenv) []float32 {
-		data := e.m.bufs[b]
+		data := e.bufs[s]
 		if data == nil {
-			panic(fmt.Sprintf("load from unbound buffer %s", b.Name))
+			data = e.m.bufs[b]
+			if data == nil {
+				panic(fmt.Sprintf("load from unbound buffer %s", b.Name))
+			}
+			e.bufs[s] = data
 		}
 		return data
 	}
 }
 
 // offsetFn compiles a multi-dimensional index into a flat-offset closure
-// with bounds checks identical to the interpreter's.
+// with bounds checks identical to the interpreter's. Constant dimensions
+// (the common case: only parameterized folded kernels have symbolic shapes)
+// are folded at compile time so the per-access path does no dim evaluation.
 func (c *compiler) offsetFn(b *ir.Buffer, idx []ir.Expr) intFn {
-	dimFns := make([]intFn, len(idx))
 	idxFns := make([]intFn, len(idx))
+	constDims := make([]int64, len(idx))
+	allConst := true
 	for i := range idx {
-		dimFns[i] = c.intFn(b.Shape[i])
 		idxFns[i] = c.intFn(idx[i])
+		if imm, ok := b.Shape[i].(*ir.IntImm); ok {
+			constDims[i] = imm.Value
+		} else {
+			allConst = false
+		}
 	}
 	name := b.Name
+	if allConst {
+		if len(idx) == 1 {
+			x0, dim := idxFns[0], constDims[0]
+			return func(e *cenv) int64 {
+				x := x0(e)
+				if x < 0 || x >= dim {
+					panic(fmt.Sprintf("index %d out of bounds [0,%d) in dim %d of %s", x, dim, 0, name))
+				}
+				return x
+			}
+		}
+		return func(e *cenv) int64 {
+			off := int64(0)
+			for i, fn := range idxFns {
+				dim := constDims[i]
+				x := fn(e)
+				if x < 0 || x >= dim {
+					panic(fmt.Sprintf("index %d out of bounds [0,%d) in dim %d of %s", x, dim, i, name))
+				}
+				off = off*dim + x
+			}
+			return off
+		}
+	}
+	dimFns := make([]intFn, len(idx))
+	for i := range idx {
+		dimFns[i] = c.intFn(b.Shape[i])
+	}
 	return func(e *cenv) int64 {
 		off := int64(0)
 		for i := range idxFns {
@@ -95,12 +154,60 @@ func (c *compiler) intFn(x ir.Expr) intFn {
 		return func(e *cenv) int64 { return e.ints[s] }
 	case *ir.Binary:
 		a, b := c.intFn(v.A), c.intFn(v.B)
+		// Leaf forms of the operands: index arithmetic is overwhelmingly
+		// chains of Add/Mul over loop variables and constants, so collapsing
+		// a leaf operand into the parent closure removes one call per node
+		// per element access.
+		aImm, aIsImm := v.A.(*ir.IntImm)
+		bImm, bIsImm := v.B.(*ir.IntImm)
+		aVar, aIsVar := v.A.(*ir.Var)
+		bVar, bIsVar := v.B.(*ir.Var)
 		switch v.Op {
 		case ir.Add:
+			switch {
+			case aIsVar && bIsVar:
+				as, bs := c.slot(aVar), c.slot(bVar)
+				return func(e *cenv) int64 { return e.ints[as] + e.ints[bs] }
+			case aIsVar && bIsImm:
+				as, k := c.slot(aVar), bImm.Value
+				return func(e *cenv) int64 { return e.ints[as] + k }
+			case bIsImm:
+				k := bImm.Value
+				return func(e *cenv) int64 { return a(e) + k }
+			case bIsVar:
+				bs := c.slot(bVar)
+				return func(e *cenv) int64 { return a(e) + e.ints[bs] }
+			case aIsImm:
+				k := aImm.Value
+				return func(e *cenv) int64 { return k + b(e) }
+			case aIsVar:
+				as := c.slot(aVar)
+				return func(e *cenv) int64 { return e.ints[as] + b(e) }
+			}
 			return func(e *cenv) int64 { return a(e) + b(e) }
 		case ir.Sub:
 			return func(e *cenv) int64 { return a(e) - b(e) }
 		case ir.Mul:
+			switch {
+			case aIsVar && bIsVar:
+				as, bs := c.slot(aVar), c.slot(bVar)
+				return func(e *cenv) int64 { return e.ints[as] * e.ints[bs] }
+			case aIsVar && bIsImm:
+				as, k := c.slot(aVar), bImm.Value
+				return func(e *cenv) int64 { return e.ints[as] * k }
+			case bIsImm:
+				k := bImm.Value
+				return func(e *cenv) int64 { return a(e) * k }
+			case bIsVar:
+				bs := c.slot(bVar)
+				return func(e *cenv) int64 { return a(e) * e.ints[bs] }
+			case aIsImm:
+				k := aImm.Value
+				return func(e *cenv) int64 { return k * b(e) }
+			case aIsVar:
+				as := c.slot(aVar)
+				return func(e *cenv) int64 { return e.ints[as] * b(e) }
+			}
 			return func(e *cenv) int64 { return a(e) * b(e) }
 		case ir.Div:
 			return func(e *cenv) int64 { return a(e) / b(e) }
@@ -215,6 +322,7 @@ func (c *compiler) stmtFn(s ir.Stmt) stmtFn {
 		}
 	case *ir.Alloc:
 		buf := x.Buf
+		s := c.bufSlot(buf)
 		dimFns := make([]intFn, len(buf.Shape))
 		for i, d := range buf.Shape {
 			dimFns[i] = c.intFn(d)
@@ -224,7 +332,10 @@ func (c *compiler) stmtFn(s ir.Stmt) stmtFn {
 			for _, d := range dimFns {
 				n *= d(e)
 			}
-			e.m.bufs[buf] = make([]float32, n)
+			e.m.allocFor(buf, n)
+			// Refresh the cached resolution: allocFor may have replaced the
+			// backing slice.
+			e.bufs[s] = e.m.bufs[buf]
 		}
 	case *ir.For:
 		extent := c.intFn(x.Extent)

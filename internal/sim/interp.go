@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/ir"
 )
@@ -78,6 +79,10 @@ func (f *Fifo) Push(v float32) {
 	}
 }
 
+// fifoCompactMin is the head position below which Pop never compacts: tiny
+// queues churn too fast for the copy to pay off.
+const fifoCompactMin = 64
+
 // Pop removes and returns the oldest value.
 func (f *Fifo) Pop() (float32, bool) {
 	if f.head >= len(f.data) {
@@ -88,20 +93,88 @@ func (f *Fifo) Pop() (float32, bool) {
 	if f.head == len(f.data) {
 		f.data = f.data[:0]
 		f.head = 0
+	} else if f.head >= fifoCompactMin && f.head > len(f.data)/2 {
+		// Compact: without this, a steady-state producer/consumer pair (a
+		// long batch run) appends forever while head chases the tail, and the
+		// slice retains every value ever pushed. Shifting the live window to
+		// the front bounds capacity to ~2x the peak occupancy.
+		n := copy(f.data, f.data[f.head:])
+		f.data = f.data[:n]
+		f.head = 0
 	}
 	return v, true
 }
 
+// Cap returns the capacity of the backing slice (tests assert the compaction
+// rule keeps it bounded across arbitrarily long push/pop sequences).
+func (f *Fifo) Cap() int { return cap(f.data) }
+
 // Len returns current occupancy.
 func (f *Fifo) Len() int { return len(f.data) - f.head }
+
+// BufPool recycles float32 slices across images of a batch run. Slices are
+// bucketed by ceil-power-of-two capacity so a Get never returns a slice that
+// is later outgrown by the same binding. Safe for concurrent use (it is
+// shared by every worker arena of a batch); returned slices are always
+// zeroed, matching the make([]float32, n) they replace.
+type BufPool struct {
+	buckets sync.Map // uint -> *sync.Pool of []float32 with cap == 1<<uint
+}
+
+func poolBucket(n int) uint {
+	b := uint(0)
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Get returns a zeroed slice of length n.
+func (p *BufPool) Get(n int) []float32 {
+	if p == nil || n == 0 {
+		return make([]float32, n)
+	}
+	b := poolBucket(n)
+	sp, ok := p.buckets.Load(b)
+	if !ok {
+		sp, _ = p.buckets.LoadOrStore(b, &sync.Pool{})
+	}
+	if v := sp.(*sync.Pool).Get(); v != nil {
+		s := v.([]float32)[:n]
+		clear(s)
+		return s
+	}
+	return make([]float32, n, 1<<b)
+}
+
+// Put returns a slice to the pool. The caller must not touch it afterwards.
+func (p *BufPool) Put(s []float32) {
+	if p == nil || cap(s) == 0 {
+		return
+	}
+	b := poolBucket(cap(s))
+	if 1<<b != cap(s) {
+		return // not one of ours; dropping it is always safe
+	}
+	sp, ok := p.buckets.Load(b)
+	if !ok {
+		sp, _ = p.buckets.LoadOrStore(b, &sync.Pool{})
+	}
+	sp.(*sync.Pool).Put(s[:0])
+}
 
 // Machine holds buffer and channel bindings for kernel execution.
 type Machine struct {
 	bufs  map[*ir.Buffer][]float32
 	chans map[*ir.Channel]*Fifo
 	// compiled caches closure-compiled kernels: folded deployments invoke
-	// the same kernel dozens of times per image.
+	// the same kernel dozens of times per image, and a batch arena reuses
+	// the machine across images so every kernel compiles exactly once per
+	// worker.
 	compiled map[*ir.Kernel]*compiledKernel
+	// pool, when set, backs Alloc-statement buffers and Grab calls so a
+	// reused machine stops allocating per image.
+	pool *BufPool
 }
 
 // NewMachine returns an empty machine.
@@ -110,6 +183,39 @@ func NewMachine() *Machine {
 		bufs:     map[*ir.Buffer][]float32{},
 		chans:    map[*ir.Channel]*Fifo{},
 		compiled: map[*ir.Kernel]*compiledKernel{},
+	}
+}
+
+// SetPool attaches a buffer pool (shared across the worker machines of a
+// batch). A nil pool reverts to plain allocation.
+func (m *Machine) SetPool(p *BufPool) { m.pool = p }
+
+// Grab returns a zeroed slice of length n from the machine's pool (or the
+// heap when no pool is attached). Hosts use it for per-image output and
+// scratch bindings.
+func (m *Machine) Grab(n int) []float32 { return m.pool.Get(n) }
+
+// allocFor services an ir.Alloc: if the buffer already holds a binding with
+// enough capacity (the previous image's), it is truncated and zeroed in
+// place; otherwise a fresh slice comes from the pool. This is what turns the
+// per-image allocation storm of kernel-local scratchpads into a steady state.
+func (m *Machine) allocFor(b *ir.Buffer, n int64) {
+	if old := m.bufs[b]; int64(cap(old)) >= n {
+		s := old[:n]
+		clear(s)
+		m.bufs[b] = s
+		return
+	}
+	m.bufs[b] = m.pool.Get(int(n))
+}
+
+// ResetChannels clears every channel FIFO while keeping the backing storage,
+// so the next image of a batch reuses the same capacity instead of growing
+// fresh queues. Peak occupancy tracking is preserved across the reset.
+func (m *Machine) ResetChannels() {
+	for _, f := range m.chans {
+		f.data = f.data[:0]
+		f.head = 0
 	}
 }
 
@@ -147,16 +253,25 @@ func (m *Machine) Run(k *ir.Kernel, scalars map[*ir.Var]int64) (err error) {
 	}
 	ck, ok := m.compiled[k]
 	if !ok {
-		c := &compiler{m: m, slots: map[*ir.Var]int{}, kernel: k}
+		c := &compiler{m: m, slots: map[*ir.Var]int{}, bufSlots: map[*ir.Buffer]int{}, kernel: k}
 		// Reserve scalar-argument slots before compiling the body.
 		for _, v := range k.ScalarArgs {
 			c.slot(v)
 		}
 		run := c.stmtFn(k.Body)
-		ck = &compiledKernel{run: run, slots: c.slots, nSlots: c.nSlots}
+		ck = &compiledKernel{run: run, slots: c.slots, nSlots: c.nSlots, nBufs: len(c.bufSlots)}
 		m.compiled[k] = ck
 	}
-	e := &cenv{ints: make([]int64, ck.nSlots), m: m}
+	e := ck.env
+	if e == nil {
+		e = &cenv{ints: make([]int64, ck.nSlots), bufs: make([][]float32, ck.nBufs), m: m}
+		ck.env = e
+	} else {
+		// Bindings may have changed since the last run; drop the cached
+		// buffer resolutions. Int slots need no reset: loop variables and
+		// scalar arguments are written before every read.
+		clear(e.bufs)
+	}
 	for _, v := range k.ScalarArgs {
 		e.ints[ck.slots[v]] = scalars[v]
 	}
@@ -261,7 +376,7 @@ func (e *env) exec(s ir.Stmt) {
 			e.exec(c)
 		}
 	case *ir.Alloc:
-		e.m.bufs[x.Buf] = make([]float32, e.bufLen(x.Buf))
+		e.m.allocFor(x.Buf, e.bufLen(x.Buf))
 	case *ir.For:
 		n := e.evalI(x.Extent)
 		for i := int64(0); i < n; i++ {

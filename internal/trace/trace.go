@@ -100,6 +100,14 @@ func (c *Collector) Spans() []Span {
 // Call after Context.Finish: autorun propagation can extend producer spans
 // until the queues drain. Nil-safe.
 func (c *Collector) AddEvents(events []*clrt.Event, elapsedUS, offsetUS float64) {
+	c.AddEventsAs("device", events, elapsedUS, offsetUS)
+}
+
+// AddEventsAs is AddEvents with an explicit trace process name. Batch runs
+// give each worker's device context its own process ("device w0", "device
+// w1", ...) so per-worker queues do not collide on one track namespace.
+// Nil-safe.
+func (c *Collector) AddEventsAs(proc string, events []*clrt.Event, elapsedUS, offsetUS float64) {
 	if c == nil {
 		return
 	}
@@ -138,7 +146,7 @@ func (c *Collector) AddEvents(events []*clrt.Event, elapsedUS, offsetUS float64)
 		}
 		c.reg.Counter("clrt.events." + e.Kind).Inc()
 		c.Add(Span{
-			Proc:    "device",
+			Proc:    proc,
 			Track:   fmt.Sprintf("queue %d %s", e.Queue, lane),
 			Name:    e.Kind + " " + e.Name,
 			Cat:     e.Kind,
