@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-batch chaos trace fmt
+.PHONY: all build test race lint bench bench-batch bench-sim chaos trace fmt
 
 all: lint build test
 
@@ -14,10 +14,11 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages: the parallel design-space explorer, the
-# deployment builders it calls into, the runtime event queue, and the metrics
-# registry the retried images publish into.
+# deployment builders it calls into, the runtime event queue, the metrics
+# registry the retried images publish into, and the simulator (shared buffer
+# pool + execution-tier stats across batch workers).
 race:
-	$(GO) test -race ./internal/dse/... ./internal/host/... ./internal/clrt/... ./internal/trace/...
+	$(GO) test -race ./internal/dse/... ./internal/host/... ./internal/clrt/... ./internal/trace/... ./internal/sim/...
 
 lint:
 	@unformatted=$$(gofmt -l .); \
@@ -37,6 +38,13 @@ bench:
 bench-batch:
 	$(GO) run ./cmd/fpgacnn bench-batch -o BENCH_batch.json
 	$(GO) test -run=NONE -bench=BenchmarkBatchThroughput -benchtime=1x .
+
+# Execution-tier benchmark: interp vs closure vs vector on the LeNet conv and
+# dense kernels plus one folded MobileNet layer. Writes BENCH_sim.json and
+# prints benchstat-comparable BenchmarkSim/<kernel>/<tier> lines; CI runs it
+# twice (non-blocking) and uploads both outputs.
+bench-sim:
+	$(GO) run ./cmd/fpgacnn bench-sim -o BENCH_sim.json
 
 # Chaos smoke: the fault-injection matrix (the Resilient/Watchdog/Ladder tests
 # sweep seeds 1-3 internally) under the race detector, the static channel

@@ -19,7 +19,13 @@
 //	                             # batched inference through the parallel engine
 //	fpgacnn bench-batch -o BENCH_batch.json
 //	                             # wall-clock serial-vs-batch benchmark, JSON out
+//	fpgacnn bench-sim -o BENCH_sim.json
+//	                             # interp vs closure vs vector tier benchmark
 //	fpgacnn trace -o trace.json  # timed run, exported as a Chrome trace
+//
+// Subcommands that execute kernels functionally (run, verify, bench-batch,
+// bench-sim) accept -exec=interp|closure|vector to pick the simulator's
+// execution engine (default vector).
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"testing"
 	"time"
 
 	"repro/internal/aoc"
@@ -43,7 +50,9 @@ import (
 	"repro/internal/ir"
 	"repro/internal/nn"
 	"repro/internal/relay"
+	"repro/internal/sim"
 	"repro/internal/tensor"
+	"repro/internal/topi"
 	"repro/internal/trace"
 	"repro/internal/verify"
 )
@@ -77,7 +86,7 @@ func main() {
 	case "graph":
 		err = dumpGraph(arg(2, "lenet5"))
 	case "verify":
-		err = runVerify()
+		err = runVerify(os.Args[2:])
 	case "chaos":
 		err = runChaos(os.Args[2:])
 	case "dse":
@@ -86,6 +95,8 @@ func main() {
 		err = runTimed(os.Args[2:])
 	case "bench-batch":
 		err = runBenchBatch(os.Args[2:])
+	case "bench-sim":
+		err = runBenchSim(os.Args[2:])
 	case "trace":
 		err = runTrace(os.Args[2:])
 	default:
@@ -109,11 +120,12 @@ func arg(i int, def string) string {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fpgacnn <command>
   list | all | <experiment> | codegen <net> | hostgen <net> | report <net> <board> |
-  timeline <net> <board> | graph <net> | verify |
+  timeline <net> <board> | graph <net> | verify [-exec E] |
   run [-net N] [-board B] [-images N] [-batch N] [-workers K] [-serial] [-profiling]
-      [-metrics] [-trace F] [-cpuprofile F] [-memprofile F] |
-  bench-batch [-net N] [-board B] [-batch N] [-workers K] [-o F]
+      [-exec E] [-metrics] [-trace F] [-cpuprofile F] [-memprofile F] |
+  bench-batch [-net N] [-board B] [-batch N] [-workers K] [-o F] [-exec E]
       [-cpuprofile F] [-memprofile F] |
+  bench-sim [-o F] [-cpuprofile F] [-memprofile F] |
   trace [-net N] [-board B] [-images N] [-o F] [-metrics] |
   chaos [-fault-seed N] [-fault-rate P] [-watchdog-us D] [-images N] [-metrics] [-trace F] |
   dse [-dse-workers N] [-dse-timeout D] [-dse-max N] [-metrics]`)
@@ -255,6 +267,31 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 	}, nil
 }
 
+// profileFlags registers the -cpuprofile/-memprofile pair on a FlagSet and
+// returns a starter to call after parsing; defer the stop function it
+// returns. One helper instead of per-subcommand copies of the flag
+// definitions and the startProfiles call.
+func profileFlags(fs *flag.FlagSet) func() (func(), error) {
+	cpu := fs.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	mem := fs.String("memprofile", "", "write a pprof heap profile to this path")
+	return func() (func(), error) { return startProfiles(*cpu, *mem) }
+}
+
+// execFlag registers -exec on a FlagSet and returns an apply function (call
+// after parsing) that sets the process-wide default execution tier for every
+// simulator machine the subcommand creates.
+func execFlag(fs *flag.FlagSet) func() error {
+	s := fs.String("exec", sim.TierVector.String(), "execution engine: interp, closure or vector")
+	return func() error {
+		t, err := sim.ParseTier(*s)
+		if err != nil {
+			return err
+		}
+		sim.SetDefaultTier(t)
+		return nil
+	}
+}
+
 // batchDeployment is the surface the batch engine exposes on both deployment
 // shapes (pipelined and folded).
 type batchDeployment interface {
@@ -337,12 +374,15 @@ func runTimed(args []string) error {
 	profiling := fs.Bool("profiling", false, "enable the OpenCL event profiler (serializes execution)")
 	metrics := fs.Bool("metrics", false, "print the metrics dump after the run")
 	traceOut := fs.String("trace", "", "write a Chrome trace JSON to this path (\"-\" = stdout)")
-	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile to this path")
-	memProf := fs.String("memprofile", "", "write a pprof heap profile to this path")
+	applyExec := execFlag(fs)
+	startProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err := applyExec(); err != nil {
+		return err
+	}
+	stopProf, err := startProf()
 	if err != nil {
 		return err
 	}
@@ -444,12 +484,15 @@ func runBenchBatch(args []string) error {
 	batch := fs.Int("batch", 16, "images per batch")
 	workers := fs.Int("workers", 4, "batch worker count (0 = GOMAXPROCS)")
 	out := fs.String("o", "BENCH_batch.json", "output path for the JSON report (\"-\" = stdout)")
-	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile to this path")
-	memProf := fs.String("memprofile", "", "write a pprof heap profile to this path")
+	applyExec := execFlag(fs)
+	startProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err := applyExec(); err != nil {
+		return err
+	}
+	stopProf, err := startProf()
 	if err != nil {
 		return err
 	}
@@ -539,6 +582,159 @@ func runBenchBatch(args []string) error {
 		rep.Serial.NsPerImage/1e6, rep.Serial.AllocsPerImage,
 		rep.Batched.NsPerImage/1e6, rep.Batched.AllocsPerImage,
 		rep.SpeedupX, rep.AllocRatioX, rep.ModeledSpeedupX)
+	if *out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// simBenchKernel is one row of BENCH_sim.json: per-engine wall-clock cost of
+// one kernel plus the vectorizer's compile-time counters for it.
+type simBenchKernel struct {
+	Name               string             `json:"name"`
+	NsPerOp            map[string]float64 `json:"ns_per_op"`
+	VectorOverClosureX float64            `json:"vector_over_closure_x"`
+	InterpOverVectorX  float64            `json:"interp_over_vector_x"`
+	VectorLoops        int64              `json:"vector_loops"`
+	FallbackLoops      int64              `json:"fallback_loops"`
+}
+
+type simBenchReport struct {
+	Kernels []simBenchKernel `json:"kernels"`
+}
+
+// simBenchCase is one kernel under benchmark: its IR, scalar bindings and a
+// binder that attaches deterministic input data to a fresh machine.
+type simBenchCase struct {
+	name    string
+	kern    *ir.Kernel
+	scalars map[*ir.Var]int64
+	binds   func(m *sim.Machine)
+}
+
+// simBenchCases builds the benchmarked kernel set: the two LeNet-5
+// convolutions and its big dense layer (thesis Table 6.5 schedules), plus one
+// folded MobileNetV1 pointwise layer on the parameterized kernel.
+func simBenchCases() ([]simBenchCase, error) {
+	mkBinder := func(sizes map[*ir.Buffer]int) func(*sim.Machine) {
+		return func(m *sim.Machine) {
+			for b, n := range sizes {
+				data := make([]float32, n)
+				for i := range data {
+					data[i] = float32(i%17)*0.25 - 1
+				}
+				m.Bind(b, data)
+			}
+		}
+	}
+	var cases []simBenchCase
+
+	conv1, err := topi.Conv2D(topi.ConvSpec{Name: "conv1", C1: 1, H: 28, W: 28, C2: 6, F: 5, S: 1, Relu: true, Bias: true},
+		topi.OptSched(6, 2, 1), topi.ConvIO{})
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, simBenchCase{name: "lenet_conv1", kern: conv1.Kernel, binds: mkBinder(map[*ir.Buffer]int{
+		conv1.In: 1 * 28 * 28, conv1.Weights: 6 * 1 * 5 * 5, conv1.Bias: 6, conv1.Out: 6 * 24 * 24})})
+
+	conv2, err := topi.Conv2D(topi.ConvSpec{Name: "conv2", C1: 6, H: 12, W: 12, C2: 16, F: 5, S: 1, Relu: true, Bias: true},
+		topi.OptSched(4, 4, 2), topi.ConvIO{})
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, simBenchCase{name: "lenet_conv2", kern: conv2.Kernel, binds: mkBinder(map[*ir.Buffer]int{
+		conv2.In: 6 * 12 * 12, conv2.Weights: 16 * 6 * 5 * 5, conv2.Bias: 16, conv2.Out: 16 * 8 * 8})})
+
+	dense1, err := topi.Dense(topi.DenseSpec{Name: "dense1", N: 256, M: 120, Relu: true, Bias: true}, false, 32, topi.ConvIO{})
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, simBenchCase{name: "lenet_dense1", kern: dense1.Kernel, binds: mkBinder(map[*ir.Buffer]int{
+		dense1.In: 256, dense1.Weights: 120 * 256, dense1.Bias: 120, dense1.Out: 120})})
+
+	// One folded MobileNet layer: the parameterized pointwise conv bound to
+	// the 14x14x64 -> 128 shape; symbolic strides exercise the vectorizer's
+	// per-entry coefficient evaluation.
+	pw, err := topi.ConvParamAct("mn_pw", 1, 1, topi.ConvSched{W2vec: 7, C2vec: 4, C1vec: 4}, false, true, true, false, false)
+	if err != nil {
+		return nil, err
+	}
+	scalars, err := pw.Bind(64, 14, 14, 128)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, simBenchCase{name: "mobilenet_fold_pw", kern: pw.Op.Kernel, scalars: scalars,
+		binds: mkBinder(map[*ir.Buffer]int{
+			pw.Op.In: 64 * 14 * 14, pw.Op.Weights: 128 * 64, pw.Op.Bias: 128, pw.Op.Out: 128 * 14 * 14})})
+	return cases, nil
+}
+
+// runBenchSim benchmarks every execution tier on the same kernels and writes
+// BENCH_sim.json. Stdout is benchstat-comparable (BenchmarkSim/<kernel>/<tier>
+// lines), so two CI runs can be diffed with benchstat directly.
+func runBenchSim(args []string) error {
+	fs := flag.NewFlagSet("bench-sim", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_sim.json", "output path for the JSON report (\"-\" = stdout)")
+	startProf := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProf, err := startProf()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	cases, err := simBenchCases()
+	if err != nil {
+		return err
+	}
+	rep := simBenchReport{}
+	for _, c := range cases {
+		row := simBenchKernel{Name: c.name, NsPerOp: map[string]float64{}}
+		for _, tier := range []sim.Tier{sim.TierInterp, sim.TierClosure, sim.TierVector} {
+			m := sim.NewMachine()
+			m.SetTier(tier)
+			st := &sim.ExecStats{}
+			m.SetStats(st)
+			c.binds(m)
+			// Warm run: compile outside the measured loop so the numbers are
+			// steady-state execution, the regime RunBatch arenas run in.
+			if err := m.Run(c.kern, c.scalars); err != nil {
+				return fmt.Errorf("%s/%s: %w", c.name, tier, err)
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := m.Run(c.kern, c.scalars); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			row.NsPerOp[tier.String()] = ns
+			fmt.Printf("BenchmarkSim/%s/%s\t%8d\t%12.1f ns/op\n", c.name, tier, r.N, ns)
+			if tier == sim.TierVector {
+				s := st.Snapshot()
+				row.VectorLoops, row.FallbackLoops = s.VectorLoops, s.FallbackLoops
+			}
+		}
+		if v := row.NsPerOp["vector"]; v > 0 {
+			row.VectorOverClosureX = row.NsPerOp["closure"] / v
+			row.InterpOverVectorX = row.NsPerOp["interp"] / v
+		}
+		fmt.Printf("  %s: vector %.1fx over closure, %.1fx over interp (%d nests vectorized, %d fallback)\n",
+			c.name, row.VectorOverClosureX, row.InterpOverVectorX, row.VectorLoops, row.FallbackLoops)
+		rep.Kernels = append(rep.Kernels, row)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
 	if *out == "-" {
 		_, err = os.Stdout.Write(buf)
 		return err
@@ -772,7 +968,15 @@ func dumpGraph(net string) error {
 // hardware), then the host program's output-verification path — every LeNet
 // bitstream variant executed on the IR interpreter against the native
 // reference, over all ten digits.
-func runVerify() error {
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	applyExec := execFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyExec(); err != nil {
+		return err
+	}
 	layers, err := relay.Lower(nn.LeNet5())
 	if err != nil {
 		return err

@@ -73,6 +73,7 @@ func (c *arenaCache) checkin(fn inferFn) {
 func (p *Pipelined) NewArena(pool *sim.BufPool) inferFn {
 	m := sim.NewMachine()
 	m.SetPool(pool)
+	m.SetStats(&p.simStats)
 	// zero collects every slice that must be cleared before each image so a
 	// warm run starts from the same state as a cold one.
 	var zero [][]float32
@@ -137,6 +138,7 @@ func (p *Pipelined) NewArena(pool *sim.BufPool) inferFn {
 func (f *Folded) NewArena(pool *sim.BufPool) inferFn {
 	m := sim.NewMachine()
 	m.SetPool(pool)
+	m.SetStats(&f.simStats)
 	outs := make([][]float32, len(f.Layers))
 	scratch := map[*ir.Buffer][]float32{}
 	for _, inv := range f.plan {

@@ -98,12 +98,12 @@ type tryFn func(op func() (*clrt.Event, error)) (*clrt.Event, error)
 // RunBatch classifies a batch of images on a pipelined deployment. See
 // BatchOptions/BatchResult; outputs are bit-identical to sequential Infer.
 func (p *Pipelined) RunBatch(inputs []*tensor.Tensor, opt BatchOptions) (*BatchResult, error) {
-	return runBatch(inputs, opt, &p.arenas, p.NewArena, p.newTimedBatch)
+	return runBatch(inputs, opt, &p.arenas, &p.simStats, p.NewArena, p.newTimedBatch)
 }
 
 // RunBatch classifies a batch of images on a folded deployment.
 func (f *Folded) RunBatch(inputs []*tensor.Tensor, opt BatchOptions) (*BatchResult, error) {
-	return runBatch(inputs, opt, &f.arenas, f.NewArena, f.newTimedBatch)
+	return runBatch(inputs, opt, &f.arenas, &f.simStats, f.NewArena, f.newTimedBatch)
 }
 
 // newTimedBatch programs one worker device for a pipelined deployment.
@@ -305,7 +305,7 @@ type wstat struct {
 }
 
 func runBatch(inputs []*tensor.Tensor, opt BatchOptions, cache *arenaCache,
-	newArena func(*sim.BufPool) inferFn,
+	simStats *sim.ExecStats, newArena func(*sim.BufPool) inferFn,
 	newTimed func() (*timedBatch, error)) (*BatchResult, error) {
 
 	n := len(inputs)
@@ -377,6 +377,7 @@ func runBatch(inputs []*tensor.Tensor, opt BatchOptions, cache *arenaCache,
 		tc.Metrics().Gauge("host.batch.workers").Set(float64(workers))
 		tc.Metrics().Gauge("host.batch.images_per_sec").Set(res.ImagesPerSec)
 		tc.Metrics().Gauge("host.batch.overlap_ratio").Set(res.Overlap.Ratio)
+		publishSimStats(tc.Metrics(), simStats.Snapshot())
 	}
 	return res, nil
 }

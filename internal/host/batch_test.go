@@ -237,3 +237,36 @@ func TestRunBatchTrace(t *testing.T) {
 		t.Fatalf("images counter %d != %d", got, n)
 	}
 }
+
+// TestRunBatchPublishesSimStats: the execution-tier counters reach the
+// metrics registry (satellite of the vector-tier work): the vector engine
+// must actually fire on the LeNet kernels, the compiled-kernel cache must be
+// warm across images, and in-bounds schedules must not guard-bail.
+func TestRunBatchPublishesSimStats(t *testing.T) {
+	layers := lenetLayers(t)
+	p, err := BuildPipelined(layers, PipeTVMAutorun, fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := trace.NewCollector()
+	if _, err := p.RunBatch(batchInputs(8), BatchOptions{Workers: 2, Trace: tc}); err != nil {
+		t.Fatal(err)
+	}
+	m := tc.Metrics()
+	if v := m.Counter("sim.exec.vector_loops").Value(); v == 0 {
+		t.Error("sim.exec.vector_loops not published or vectorizer never fired")
+	}
+	if v := m.Counter("sim.exec.vector_runs").Value(); v == 0 {
+		t.Error("sim.exec.vector_runs not published")
+	}
+	if v := m.Counter("sim.compile.cache_hits").Value(); v == 0 {
+		t.Error("sim.compile.cache_hits: warm arenas must hit the kernel cache")
+	}
+	if v := m.Counter("sim.exec.guard_bailouts").Value(); v != 0 {
+		t.Errorf("sim.exec.guard_bailouts = %d on in-bounds LeNet schedules", v)
+	}
+	snap := p.SimStats()
+	if snap.VectorRuns == 0 || snap.CacheMisses == 0 {
+		t.Fatalf("deployment snapshot empty: %+v", snap)
+	}
+}

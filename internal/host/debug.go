@@ -41,6 +41,7 @@ func (p *Pipelined) DumpActivations(input *tensor.Tensor) ([]*tensor.Tensor, err
 		return nil, fmt.Errorf("host: %s streams activations through channels; use a buffered bitstream (Base/Unrolling) for per-layer dumps", p.Variant)
 	}
 	m := sim.NewMachine()
+	m.SetStats(&p.simStats)
 	for _, st := range p.stages {
 		bindStageTensors(m, st)
 		// Idempotent: when two stages share an Out buffer, the first bind
@@ -88,6 +89,7 @@ func (f *Folded) DumpActivations(input *tensor.Tensor) ([]*tensor.Tensor, error)
 	}
 	for _, inv := range f.plan {
 		m := sim.NewMachine()
+		m.SetStats(&f.simStats)
 		op, l := inv.op, inv.layer
 		if op.In != nil {
 			m.Bind(op.In, get(inv.inIdx))

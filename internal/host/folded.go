@@ -75,7 +75,14 @@ type Folded struct {
 
 	// arenas caches warm batch-worker execution state across RunBatch calls.
 	arenas arenaCache
+	// simStats accumulates execution-tier counters across every sim machine
+	// this deployment creates (Infer, DumpActivations, batch arenas).
+	simStats sim.ExecStats
 }
+
+// SimStats returns the cumulative execution-tier counters (compile cache,
+// vectorized vs fallback loops, guard bailouts) for this deployment.
+func (f *Folded) SimStats() sim.StatsSnapshot { return f.simStats.Snapshot() }
 
 // BuildFolded generates the kernel set and execution plan for a network.
 func BuildFolded(layers []*relay.Layer, cfg FoldedConfig, board *fpga.Board, opts aoc.Options) (*Folded, error) {
@@ -382,6 +389,7 @@ func (f *Folded) Infer(input *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	for _, inv := range f.plan {
 		m := sim.NewMachine()
+		m.SetStats(&f.simStats)
 		op, l := inv.op, inv.layer
 		if op.In != nil {
 			m.Bind(op.In, get(inv.inIdx))
@@ -523,6 +531,9 @@ func (f *Folded) RunTraced(n int, profiling bool, tc *trace.Collector) (*RunResu
 		Timeline:    ctx.TimelineSince(72, start),
 	}
 	collectRunTrace(tc, ctx, imgRanges, start, res)
+	if tc != nil {
+		publishSimStats(tc.Metrics(), f.simStats.Snapshot())
+	}
 	return res, nil
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/clrt"
 	"repro/internal/fault"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -80,4 +81,24 @@ func collectResilientTrace(ctrl RunControl, ctx *clrt.Context, inj *fault.Inject
 	m := tc.Metrics()
 	m.Counter("host.retries").Add(int64(stats.Retries))
 	m.Counter("host.watchdog_trips").Add(int64(stats.WatchdogTrips))
+}
+
+// publishSimStats mirrors the functional simulator's execution-tier counters
+// into the metrics registry under the sim.* namespace. Deployment stats are
+// cumulative, so counters are raised to the snapshot value rather than
+// blindly incremented — publishing after every run (ladder rungs, repeated
+// RunBatch calls on one deployment) stays correct. Safe on a nil registry.
+func publishSimStats(reg *trace.Registry, s sim.StatsSnapshot) {
+	set := func(name string, v int64) {
+		c := reg.Counter(name)
+		if d := v - c.Value(); d > 0 {
+			c.Add(d)
+		}
+	}
+	set("sim.compile.cache_hits", s.CacheHits)
+	set("sim.compile.cache_misses", s.CacheMisses)
+	set("sim.exec.vector_loops", s.VectorLoops)
+	set("sim.exec.fallback_loops", s.FallbackLoops)
+	set("sim.exec.vector_runs", s.VectorRuns)
+	set("sim.exec.guard_bailouts", s.GuardBailouts)
 }

@@ -100,7 +100,14 @@ type Pipelined struct {
 
 	// arenas caches warm batch-worker execution state across RunBatch calls.
 	arenas arenaCache
+	// simStats accumulates execution-tier counters across every sim machine
+	// this deployment creates (Infer, DumpActivations, batch arenas).
+	simStats sim.ExecStats
 }
+
+// SimStats returns the cumulative execution-tier counters (compile cache,
+// vectorized vs fallback loops, guard bailouts) for this deployment.
+func (p *Pipelined) SimStats() sim.StatsSnapshot { return p.simStats.Snapshot() }
 
 // BuildPipelined generates one kernel per layer according to the variant
 // and compiles the design for the board.
@@ -249,6 +256,7 @@ func applyHandUnroll(op *topi.Op, l *relay.Layer) error {
 // host program passes the same cl_mem to both kernels.
 func (p *Pipelined) Infer(input *tensor.Tensor) (*tensor.Tensor, error) {
 	m := sim.NewMachine()
+	m.SetStats(&p.simStats)
 	// First pass: outputs and parameters.
 	for i, st := range p.stages {
 		bindStageTensors(m, st)
@@ -446,5 +454,8 @@ func (p *Pipelined) RunTraced(n int, concurrent, profiling bool, tc *trace.Colle
 		Timeline:    ctx.TimelineSince(72, start),
 	}
 	collectRunTrace(tc, ctx, imgRanges, start, res)
+	if tc != nil {
+		publishSimStats(tc.Metrics(), p.simStats.Snapshot())
+	}
 	return res, nil
 }

@@ -1,0 +1,177 @@
+package ir
+
+// Affine access classification: decompose index expressions into base +
+// stride·var form with respect to a loop nest. This is the analysis half of
+// the simulator's vectorized execution tier (internal/sim/vector.go) and is
+// deliberately kept here, next to Simplify, so the AOC memory model can
+// reuse the same stride/base extraction when classifying global-memory
+// accesses as coalesced/strided (§5.2: the thesis's coalescing argument is
+// exactly "innermost stride == 1").
+
+// LinearExpr is the affine decomposition of an integer expression with
+// respect to an ordered list of loop variables:
+//
+//	e  =  Base + Σ Coeffs[i]·vars[i]
+//
+// Base and every coefficient are themselves expressions that do not
+// reference any of the nest variables — they may reference enclosing loop
+// variables or symbolic shape parameters (parameterized folded kernels), so
+// a decomposition is evaluable once per nest entry. Constant coefficients
+// fold to *IntImm via the package's standard constructors.
+type LinearExpr struct {
+	Coeffs []Expr
+	Base   Expr
+}
+
+// ConstCoeffs returns the coefficient vector as int64s when every
+// coefficient is a literal (the common case for non-parameterized kernels).
+func (l LinearExpr) ConstCoeffs() ([]int64, bool) {
+	out := make([]int64, len(l.Coeffs))
+	for i, c := range l.Coeffs {
+		v, ok := IsConst(c)
+		if !ok {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
+// Invariant reports whether the decomposition has no dependence on any nest
+// variable (all coefficients are the literal zero).
+func (l LinearExpr) Invariant() bool {
+	for _, c := range l.Coeffs {
+		if v, ok := IsConst(c); !ok || v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// UsesAnyVar reports whether e references any of vars.
+func UsesAnyVar(e Expr, vars []*Var) bool {
+	found := false
+	WalkExpr(e, func(x Expr) {
+		if v, ok := x.(*Var); ok {
+			for _, nv := range vars {
+				if v == nv {
+					found = true
+					return
+				}
+			}
+		}
+	})
+	return found
+}
+
+// Linearize decomposes integer expression e as an affine function of vars.
+// It returns ok=false when e is not affine in vars: a product of two
+// var-dependent factors, or a Div/Mod/Max/Min/comparison/Select whose
+// operands depend on a nest variable (those are affine only when they are
+// nest-invariant, in which case they fold into Base). Float-typed nodes
+// (FloatImm, Load, Call, ChannelRead) are never valid index expressions and
+// always fail.
+func Linearize(e Expr, vars []*Var) (LinearExpr, bool) {
+	switch x := e.(type) {
+	case *IntImm:
+		return invariantLin(x, vars), true
+	case *Var:
+		for i, v := range vars {
+			if v == x {
+				l := invariantLin(CInt(0), vars)
+				l.Coeffs[i] = CInt(1)
+				return l, true
+			}
+		}
+		return invariantLin(x, vars), true
+	case *Binary:
+		switch x.Op {
+		case Add, Sub:
+			a, ok := Linearize(x.A, vars)
+			if !ok {
+				return LinearExpr{}, false
+			}
+			b, ok := Linearize(x.B, vars)
+			if !ok {
+				return LinearExpr{}, false
+			}
+			out := LinearExpr{Coeffs: make([]Expr, len(vars))}
+			for i := range vars {
+				if x.Op == Add {
+					out.Coeffs[i] = AddE(a.Coeffs[i], b.Coeffs[i])
+				} else {
+					out.Coeffs[i] = SubE(a.Coeffs[i], b.Coeffs[i])
+				}
+			}
+			if x.Op == Add {
+				out.Base = AddE(a.Base, b.Base)
+			} else {
+				out.Base = SubE(a.Base, b.Base)
+			}
+			return out, true
+		case Mul:
+			aUses := UsesAnyVar(x.A, vars)
+			bUses := UsesAnyVar(x.B, vars)
+			if aUses && bUses {
+				return LinearExpr{}, false // quadratic in the nest
+			}
+			lin, k := x.A, Expr(nil)
+			if aUses {
+				k = x.B
+			} else {
+				k, lin = x.A, x.B
+			}
+			l, ok := Linearize(lin, vars)
+			if !ok {
+				return LinearExpr{}, false
+			}
+			out := LinearExpr{Coeffs: make([]Expr, len(vars)), Base: MulE(k, l.Base)}
+			for i := range vars {
+				out.Coeffs[i] = MulE(k, l.Coeffs[i])
+			}
+			return out, true
+		}
+		// Div/Mod/Max/Min and comparisons are non-affine over the nest;
+		// nest-invariant instances fold into the base untouched.
+		if UsesAnyVar(e, vars) {
+			return LinearExpr{}, false
+		}
+		return invariantLin(e, vars), true
+	case *Select:
+		if UsesAnyVar(e, vars) {
+			return LinearExpr{}, false
+		}
+		return invariantLin(e, vars), true
+	}
+	return LinearExpr{}, false
+}
+
+func invariantLin(base Expr, vars []*Var) LinearExpr {
+	cs := make([]Expr, len(vars))
+	for i := range cs {
+		cs[i] = CInt(0)
+	}
+	return LinearExpr{Coeffs: cs, Base: base}
+}
+
+// AccessPattern is the affine decomposition of one multi-dimensional buffer
+// access: Index[d] = Dims[d].Base + Σ Dims[d].Coeffs[i]·vars[i]. The sim's
+// vector tier turns this into flat base/stride pairs after evaluating the
+// (possibly symbolic) buffer shape at run time.
+type AccessPattern struct {
+	Buf  *Buffer
+	Dims []LinearExpr
+}
+
+// LinearizeAccess decomposes every dimension of a buffer access.
+func LinearizeAccess(buf *Buffer, index []Expr, vars []*Var) (AccessPattern, bool) {
+	ap := AccessPattern{Buf: buf, Dims: make([]LinearExpr, len(index))}
+	for d, ix := range index {
+		l, ok := Linearize(ix, vars)
+		if !ok {
+			return AccessPattern{}, false
+		}
+		ap.Dims[d] = l
+	}
+	return ap, true
+}

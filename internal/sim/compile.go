@@ -46,6 +46,12 @@ type compiler struct {
 	nSlots   int
 	bufSlots map[*ir.Buffer]int
 	kernel   *ir.Kernel
+	// vectorize enables the affine loop-nest vectorizer (vector.go);
+	// nVector/nFallback count nests lowered to microkernels vs innermost
+	// compute loops left on closures, reported into ExecStats by Run.
+	vectorize bool
+	nVector   int64
+	nFallback int64
 }
 
 func (c *compiler) slot(v *ir.Var) int {
@@ -338,6 +344,17 @@ func (c *compiler) stmtFn(s ir.Stmt) stmtFn {
 			e.bufs[s] = e.m.bufs[buf]
 		}
 	case *ir.For:
+		if c.vectorize {
+			if fn := c.vectorLoop(x); fn != nil {
+				c.nVector++
+				return fn
+			}
+			if innermostComputeLoop(x) {
+				// Countable bailout: an innermost loop with stores or
+				// channel ops stays on the scalar closure tier.
+				c.nFallback++
+			}
+		}
 		extent := c.intFn(x.Extent)
 		slot := c.slot(x.Var)
 		body := c.stmtFn(x.Body)

@@ -167,22 +167,35 @@ func (p *BufPool) Put(s []float32) {
 type Machine struct {
 	bufs  map[*ir.Buffer][]float32
 	chans map[*ir.Channel]*Fifo
-	// compiled caches closure-compiled kernels: folded deployments invoke
-	// the same kernel dozens of times per image, and a batch arena reuses
-	// the machine across images so every kernel compiles exactly once per
-	// worker.
-	compiled map[*ir.Kernel]*compiledKernel
+	// compiled caches compiled kernels per execution tier: folded
+	// deployments invoke the same kernel dozens of times per image, and a
+	// batch arena reuses the machine across images so every kernel compiles
+	// exactly once per worker per tier. The tier tag keeps -exec A/B
+	// switches from executing a program built for the other engine.
+	compiled map[compileKey]*compiledKernel
 	// pool, when set, backs Alloc-statement buffers and Grab calls so a
 	// reused machine stops allocating per image.
 	pool *BufPool
+	// tier selects the execution engine (tier.go); stats, when set, counts
+	// cache and vectorization events (shared across a deployment's workers).
+	tier  Tier
+	stats *ExecStats
 }
 
-// NewMachine returns an empty machine.
+// compileKey is the compiled-kernel cache key: one program per kernel per
+// execution tier.
+type compileKey struct {
+	k    *ir.Kernel
+	tier Tier
+}
+
+// NewMachine returns an empty machine on the default execution tier.
 func NewMachine() *Machine {
 	return &Machine{
 		bufs:     map[*ir.Buffer][]float32{},
 		chans:    map[*ir.Channel]*Fifo{},
-		compiled: map[*ir.Kernel]*compiledKernel{},
+		compiled: map[compileKey]*compiledKernel{},
+		tier:     DefaultTier(),
 	}
 }
 
@@ -239,10 +252,14 @@ func (m *Machine) Channel(ch *ir.Channel) *Fifo {
 // argument buffers must be bound beforehand; local/private allocations are
 // created automatically. Returns an error on any fault a real OpenCL run
 // would surface (out-of-bounds access, read from empty channel, unbound
-// argument). Execution goes through the closure compiler (compile.go);
-// RunInterp runs the same semantics on the tree-walking interpreter and is
-// kept as a cross-checking oracle.
+// argument). Execution goes through the engine the machine's tier selects:
+// the closure compiler (compile.go), optionally with the affine vectorizer
+// (vector.go), or the tree-walking interpreter. RunInterp is kept as a
+// cross-checking oracle.
 func (m *Machine) Run(k *ir.Kernel, scalars map[*ir.Var]int64) (err error) {
+	if m.tier == TierInterp {
+		return m.RunInterp(k, scalars)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = recoverRunErr(k.Name, r)
@@ -251,16 +268,29 @@ func (m *Machine) Run(k *ir.Kernel, scalars map[*ir.Var]int64) (err error) {
 	if err := m.precheck(k, scalars); err != nil {
 		return err
 	}
-	ck, ok := m.compiled[k]
-	if !ok {
-		c := &compiler{m: m, slots: map[*ir.Var]int{}, bufSlots: map[*ir.Buffer]int{}, kernel: k}
+	key := compileKey{k: k, tier: m.tier}
+	ck, ok := m.compiled[key]
+	if ok {
+		if m.stats != nil {
+			m.stats.CacheHits.Add(1)
+		}
+	} else {
+		if m.stats != nil {
+			m.stats.CacheMisses.Add(1)
+		}
+		c := &compiler{m: m, slots: map[*ir.Var]int{}, bufSlots: map[*ir.Buffer]int{}, kernel: k,
+			vectorize: m.tier == TierVector}
 		// Reserve scalar-argument slots before compiling the body.
 		for _, v := range k.ScalarArgs {
 			c.slot(v)
 		}
 		run := c.stmtFn(k.Body)
 		ck = &compiledKernel{run: run, slots: c.slots, nSlots: c.nSlots, nBufs: len(c.bufSlots)}
-		m.compiled[k] = ck
+		if m.stats != nil {
+			m.stats.VectorLoops.Add(c.nVector)
+			m.stats.FallbackLoops.Add(c.nFallback)
+		}
+		m.compiled[key] = ck
 	}
 	e := ck.env
 	if e == nil {
