@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-batch bench-sim chaos trace fmt
+.PHONY: all build test race lint bench bench-batch bench-sim bench-serve chaos trace serve-smoke fmt
 
 all: lint build test
 
@@ -15,10 +15,11 @@ test:
 
 # The concurrency-sensitive packages: the parallel design-space explorer, the
 # deployment builders it calls into, the runtime event queue, the metrics
-# registry the retried images publish into, and the simulator (shared buffer
-# pool + execution-tier stats across batch workers).
+# registry the retried images publish into, the simulator (shared buffer
+# pool + execution-tier stats across batch workers), and the continuous-
+# batching server (mutex-serialized engine + worker pool + drain).
 race:
-	$(GO) test -race ./internal/dse/... ./internal/host/... ./internal/clrt/... ./internal/trace/... ./internal/sim/...
+	$(GO) test -race ./internal/dse/... ./internal/host/... ./internal/clrt/... ./internal/trace/... ./internal/sim/... ./internal/serve/...
 
 lint:
 	@unformatted=$$(gofmt -l .); \
@@ -45,6 +46,20 @@ bench-batch:
 # twice (non-blocking) and uploads both outputs.
 bench-sim:
 	$(GO) run ./cmd/fpgacnn bench-sim -o BENCH_sim.json
+
+# Open-loop load benchmark for the continuous-batching server: the same QPS
+# ramp over (batch-N, deadline-T) operating points including a batch-of-1
+# baseline. Every figure is modeled on the virtual clock, so the JSON is
+# byte-deterministic and CI diffs it against the checked-in copy.
+bench-serve:
+	$(GO) run ./cmd/fpgacnn bench-serve -o BENCH_serve.json
+
+# Serve smoke: replay a modest fixed-QPS workload across two fault seeds and
+# assert the drain zero-drop contract, the metrics ledger, and reference-
+# matching answers on every degradation rung; then round-trip the real HTTP
+# server including a drain with a request still queued.
+serve-smoke:
+	$(GO) run ./cmd/fpgacnn serve-smoke
 
 # Chaos smoke: the fault-injection matrix (the Resilient/Watchdog/Ladder tests
 # sweep seeds 1-3 internally) under the race detector, the static channel

@@ -22,6 +22,10 @@
 //	fpgacnn bench-sim -o BENCH_sim.json
 //	                             # interp vs closure vs vector tier benchmark
 //	fpgacnn trace -o trace.json  # timed run, exported as a Chrome trace
+//	fpgacnn serve -addr :8080    # continuous-batching HTTP inference server
+//	fpgacnn bench-serve -o BENCH_serve.json
+//	                             # open-loop load benchmark over batching points
+//	fpgacnn serve-smoke          # drain/metrics invariants across fault seeds
 //
 // Subcommands that execute kernels functionally (run, verify, bench-batch,
 // bench-sim) accept -exec=interp|closure|vector to pick the simulator's
@@ -99,6 +103,12 @@ func main() {
 		err = runBenchSim(os.Args[2:])
 	case "trace":
 		err = runTrace(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "bench-serve":
+		err = runBenchServe(os.Args[2:])
+	case "serve-smoke":
+		err = runServeSmoke(os.Args[2:])
 	default:
 		var rep string
 		rep, err = bench.Run(cmd)
@@ -128,7 +138,11 @@ func usage() {
   bench-sim [-o F] [-cpuprofile F] [-memprofile F] |
   trace [-net N] [-board B] [-images N] [-o F] [-metrics] |
   chaos [-fault-seed N] [-fault-rate P] [-watchdog-us D] [-images N] [-metrics] [-trace F] |
-  dse [-dse-workers N] [-dse-timeout D] [-dse-max N] [-metrics]`)
+  dse [-dse-workers N] [-dse-timeout D] [-dse-max N] [-metrics] |
+  serve [-addr A] [-net N] [-board B] [-batch-n N] [-deadline-us T] [-workers K]
+      [-tenant-queue Q] [-max-pending P] [-fault-seed S] [-fault-rate R] [-exec E] |
+  bench-serve [-net N] [-board B] [-workers K] [-seed S] [-o F] [-exec E] |
+  serve-smoke [-fault-rate R] [-exec E]`)
 }
 
 // runDSE drives the parallel design-space explorer experiment with explicit

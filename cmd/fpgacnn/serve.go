@@ -1,0 +1,449 @@
+package main
+
+// The serving surface: `fpgacnn serve` (long-running HTTP server with
+// graceful drain), `fpgacnn bench-serve` (deterministic open-loop load
+// benchmark on the simulated clock, writes BENCH_serve.json), and
+// `fpgacnn serve-smoke` (the blocking CI gate: drain zero-drop + metrics
+// invariants across fault seeds, plus an HTTP round trip).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/internal/serve/loadgen"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// serveFlags registers the shared server-shape flags and returns a builder
+// for the serve.Config they describe.
+func serveFlags(fs *flag.FlagSet) func() serve.Config {
+	net_ := fs.String("net", "lenet5", "network (see fpgacnn list)")
+	board := fs.String("board", "S10SX", "target board")
+	batchN := fs.Int("batch-n", 8, "dynamic batch size bound N")
+	deadline := fs.Float64("deadline-us", 500, "batch formation deadline T in microseconds")
+	workers := fs.Int("workers", 2, "parallel service lanes")
+	tenantQ := fs.Int("tenant-queue", 64, "per-tenant bounded queue depth (shed 429 beyond)")
+	maxPending := fs.Int("max-pending", 128, "global pending bound (shed 503 beyond)")
+	dispatch := fs.Float64("dispatch-us", 150, "modeled host overhead per device dispatch")
+	seed := fs.Int64("fault-seed", 0, "deterministic fault injector seed")
+	rate := fs.Float64("fault-rate", 0, "per-probe fault probability in [0,1]")
+	return func() serve.Config {
+		return serve.Config{
+			Net: *net_, Board: *board, BatchN: *batchN, DeadlineUS: *deadline,
+			Workers: *workers, TenantQueue: *tenantQ, MaxPending: *maxPending,
+			DispatchUS: *dispatch, FaultSeed: *seed, FaultRate: *rate,
+		}
+	}
+}
+
+// runServe is the long-running server: HTTP/JSON ingest on -addr, live
+// /metrics and /trace, graceful drain on SIGTERM/SIGINT.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	mkCfg := serveFlags(fs)
+	applyExec := execFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyExec(); err != nil {
+		return err
+	}
+	cfg := mkCfg()
+	s, err := serve.NewServer(cfg, nil)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	eff := s.Config()
+	fmt.Printf("fpgacnn serve: %s on %s at http://%s\n", eff.Net, eff.Board, ln.Addr())
+	fmt.Printf("  batching: up to %d images or %.0f us, %d workers; tenant queue %d, max pending %d\n",
+		eff.BatchN, eff.DeadlineUS, eff.Workers, eff.TenantQueue, eff.MaxPending)
+	fmt.Printf("  endpoints: POST /v1/infer  GET /metrics  GET /trace  GET /healthz\n")
+	fmt.Printf("  SIGTERM drains gracefully (zero dropped in-flight requests)\n")
+	if err := s.Serve(ctx, ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	fmt.Println("fpgacnn serve: drained and stopped")
+	return nil
+}
+
+// benchInput returns the deterministic request-image generator for a net:
+// MNIST digits cycling for LeNet-5, seeded random images otherwise.
+func benchInput(cfg serve.Config, tc *trace.Collector) (func(i int) *tensor.Tensor, *serve.LadderRunner, error) {
+	runner, err := serve.NewLadderRunner(cfg, tc)
+	if err != nil {
+		return nil, nil, err
+	}
+	shape := runner.InShape()
+	return func(i int) *tensor.Tensor {
+		if cfg.Net == "lenet5" {
+			return nn.Digit(i % 10)
+		}
+		return nn.RandomImage(uint64(i+1), shape...)
+	}, runner, nil
+}
+
+// serveBenchPoint is one (batch-N, deadline-T) operating point in
+// BENCH_serve.json.
+type serveBenchPoint struct {
+	BatchN     int     `json:"batch_n"`
+	DeadlineUS float64 `json:"deadline_us"`
+	loadgen.Summary
+}
+
+// serveBenchReport is the BENCH_serve.json schema. Every figure is simulated
+// (virtual clock + modeled device/dispatch time), so the file is
+// byte-deterministic and CI can cmp it against the checked-in copy.
+type serveBenchReport struct {
+	Net        string            `json:"net"`
+	Board      string            `json:"board"`
+	Workers    int               `json:"workers"`
+	DispatchUS float64           `json:"dispatch_us"`
+	Profile    loadgen.Profile   `json:"profile"`
+	Points     []serveBenchPoint `json:"points"`
+	// DynamicOverBatch1X compares the best dynamic point's sustained QPS to
+	// batch-of-1 serving at the same worker count — the number the bench
+	// gate enforces to stay > 1.
+	DynamicOverBatch1X float64 `json:"dynamic_over_batch1_qps_x"`
+}
+
+// benchProfile is the standard ramp: under capacity, near capacity, then
+// past saturation, so the report shows shedding and tail behavior, not just
+// a happy path.
+func benchProfile(seed int64) loadgen.Profile {
+	return loadgen.Profile{
+		Seed: seed,
+		Stages: []loadgen.Stage{
+			{QPS: 3000, DurUS: 80_000},
+			{QPS: 7000, DurUS: 80_000},
+			{QPS: 12000, DurUS: 120_000},
+		},
+		Tenants: []loadgen.Tenant{
+			{Name: "alpha", Weight: 0.5},
+			{Name: "beta", Weight: 0.3},
+			{Name: "gamma", Weight: 0.2},
+		},
+	}
+}
+
+// runBenchServe sweeps the dynamic-batching operating points under the same
+// open-loop ramp and writes BENCH_serve.json.
+func runBenchServe(args []string) error {
+	fs := flag.NewFlagSet("bench-serve", flag.ContinueOnError)
+	net_ := fs.String("net", "lenet5", "network (see fpgacnn list)")
+	board := fs.String("board", "S10SX", "target board")
+	workers := fs.Int("workers", 2, "service lanes (held equal across points)")
+	seed := fs.Int64("seed", 1, "arrival process seed")
+	out := fs.String("o", "BENCH_serve.json", "output path for the JSON report (\"-\" = stdout)")
+	applyExec := execFlag(fs)
+	startProf := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyExec(); err != nil {
+		return err
+	}
+	stopProf, err := startProf()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	profile := benchProfile(*seed)
+	points := []struct {
+		n  int
+		us float64
+	}{{1, 500}, {8, 500}, {16, 1000}}
+
+	rep := serveBenchReport{Net: *net_, Board: *board, Workers: *workers, Profile: profile}
+	for _, pt := range points {
+		cfg := serve.Config{
+			Net: *net_, Board: *board, Workers: *workers,
+			BatchN: pt.n, DeadlineUS: pt.us,
+		}
+		tc := trace.NewCollector()
+		input, runner, err := benchInput(cfg, tc)
+		if err != nil {
+			return err
+		}
+		if rep.DispatchUS == 0 {
+			rep.DispatchUS = runner.Config().DispatchUS
+		}
+		arrivals := profile.Arrivals(input)
+		res := serve.RunSim(cfg, runner, arrivals, tc)
+		sum := loadgen.Summarize(profile, res, tc.Metrics())
+		rep.Points = append(rep.Points, serveBenchPoint{BatchN: pt.n, DeadlineUS: pt.us, Summary: sum})
+		fmt.Printf("batch_n=%-3d deadline=%-6.0fus  %s\n", pt.n, pt.us, sum)
+	}
+	base := rep.Points[0].SustainedQPS
+	best := 0.0
+	for _, p := range rep.Points[1:] {
+		if p.SustainedQPS > best {
+			best = p.SustainedQPS
+		}
+	}
+	if base > 0 {
+		rep.DynamicOverBatch1X = best / base
+	}
+	fmt.Printf("dynamic batching over batch-of-1 at %d workers: %.2fx sustained QPS\n",
+		*workers, rep.DynamicOverBatch1X)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// runServeSmoke is the blocking CI gate. Part 1 replays a modest fixed-QPS
+// workload across fault seeds on the simulated clock and asserts the drain
+// and metrics contracts; part 2 round-trips the real HTTP server, including
+// a drain with a request still queued.
+func runServeSmoke(args []string) error {
+	fs := flag.NewFlagSet("serve-smoke", flag.ContinueOnError)
+	rate := fs.Float64("fault-rate", 0.05, "injected fault probability for the sim runs")
+	applyExec := execFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyExec(); err != nil {
+		return err
+	}
+	for _, seed := range []int64{1, 2} {
+		if err := smokeSim(seed, *rate); err != nil {
+			return fmt.Errorf("sim smoke (fault seed %d): %w", seed, err)
+		}
+	}
+	if err := smokeHTTP(); err != nil {
+		return fmt.Errorf("http smoke: %w", err)
+	}
+	fmt.Println("serve-smoke: all checks passed")
+	return nil
+}
+
+// smokeSim runs one seeded workload under fault injection and checks the
+// invariants the server promises: zero dropped requests on drain, a
+// consistent metrics ledger, and every answer equal to the CPU reference no
+// matter which ladder rung served it.
+func smokeSim(seed int64, rate float64) error {
+	cfg := serve.Config{
+		Net: "lenet5", Board: "S10SX", BatchN: 8, DeadlineUS: 500, Workers: 2,
+		FaultSeed: seed, FaultRate: rate,
+	}
+	profile := loadgen.Profile{
+		Seed:    seed,
+		Stages:  []loadgen.Stage{{QPS: 1000, DurUS: 100_000}},
+		Tenants: []loadgen.Tenant{{Name: "alpha", Weight: 0.6}, {Name: "beta", Weight: 0.4}},
+	}
+	tc := trace.NewCollector()
+	input, runner, err := benchInput(cfg, tc)
+	if err != nil {
+		return err
+	}
+	arrivals := profile.Arrivals(input)
+	res := serve.RunSim(cfg, runner, arrivals, tc)
+	sum := loadgen.Summarize(profile, res, tc.Metrics())
+	fmt.Printf("seed %d: %s\n", seed, sum)
+
+	if res.DrainDropped != 0 {
+		return fmt.Errorf("drain dropped %d in-flight request(s), want 0", res.DrainDropped)
+	}
+	if res.Accepted != res.Completed {
+		return fmt.Errorf("accepted %d != completed %d", res.Accepted, res.Completed)
+	}
+	m := tc.Metrics()
+	if got := m.Counter("serve.requests").Value(); got != int64(res.Offered) {
+		return fmt.Errorf("metrics serve.requests = %d, want %d", got, res.Offered)
+	}
+	if got := m.Counter("serve.completed").Value(); got != int64(res.Completed) {
+		return fmt.Errorf("metrics serve.completed = %d, want %d", got, res.Completed)
+	}
+	rungSum := m.Counter("serve.rung."+serve.RungBatch).Value() +
+		m.Counter("serve.rung."+serve.RungSolo).Value() +
+		m.Counter("serve.rung."+serve.RungCPURef).Value()
+	if rungSum != int64(res.Completed) {
+		return fmt.Errorf("rung counters sum to %d, want %d", rungSum, res.Completed)
+	}
+	shedSum := m.Counter("serve.shed.tenant_queue").Value() +
+		m.Counter("serve.shed.overload").Value() +
+		m.Counter("serve.shed.draining").Value()
+	if shedSum != int64(len(res.Shed)) {
+		return fmt.Errorf("shed counters sum to %d, want %d", shedSum, len(res.Shed))
+	}
+	// Ground truth: request IDs are assigned in arrival order, and arrival i
+	// carries digit i%10, so every response is checkable against the CPU
+	// reference — degraded rungs included.
+	wantClass := [10]int{}
+	for d := 0; d <= 9; d++ {
+		ref, err := runner.Reference(nn.Digit(d))
+		if err != nil {
+			return err
+		}
+		wantClass[d] = ref.ArgMax()
+	}
+	for _, r := range res.Responses {
+		if r.Err != nil {
+			return fmt.Errorf("request %d failed: %v", r.ID, r.Err)
+		}
+		want := wantClass[int(r.ID-1)%10]
+		if r.ArgMax != want {
+			return fmt.Errorf("request %d (rung %s): argmax %d, reference says %d", r.ID, r.Rung, r.ArgMax, want)
+		}
+	}
+	return nil
+}
+
+// smokeHTTP round-trips the wall-clock server: concurrent posts from two
+// tenants, metrics and health endpoints, then a graceful drain with a
+// request still queued (it must complete, and post-drain posts must shed).
+func smokeHTTP() error {
+	cfg := serve.Config{
+		Net: "lenet5", Board: "S10SX", BatchN: 4, DeadlineUS: 20_000, Workers: 2,
+	}
+	s, err := serve.NewServer(cfg, nil)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	post := func(tenant string, digit int) (int, map[string]any, error) {
+		body, _ := json.Marshal(map[string]any{"tenant": tenant, "digit": digit})
+		resp, err := http.Post(base+"/v1/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			return resp.StatusCode, nil, err
+		}
+		return resp.StatusCode, m, nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := "alpha"
+			if i%2 == 1 {
+				tenant = "beta"
+			}
+			code, m, err := post(tenant, i%10)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if code != http.StatusOK {
+				errs <- fmt.Errorf("POST /v1/infer: status %d (%v)", code, m)
+				return
+			}
+			if m["rung"] != serve.RungBatch {
+				errs <- fmt.Errorf("expected rung %q, got %v", serve.RungBatch, m["rung"])
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+
+	get := func(path string) (int, string, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String(), nil
+	}
+	if code, body, err := get("/metrics"); err != nil || code != 200 || !strings.Contains(body, "serve.requests") {
+		return fmt.Errorf("GET /metrics: code %d err %v (serve.requests present: %v)",
+			code, err, strings.Contains(body, "serve.requests"))
+	}
+	if code, _, err := get("/healthz"); err != nil || code != 200 {
+		return fmt.Errorf("GET /healthz: code %d err %v", code, err)
+	}
+
+	// Drain with a request still queued: BatchN 4 and a 20 ms deadline keep
+	// a single post pending until the drain flushes it.
+	pending := make(chan error, 1)
+	go func() {
+		code, m, err := post("gamma", 7)
+		if err != nil {
+			pending <- err
+			return
+		}
+		if code != http.StatusOK {
+			pending <- fmt.Errorf("queued request got status %d (%v) across drain", code, m)
+			return
+		}
+		pending <- nil
+	}()
+	time.Sleep(50 * time.Millisecond) // let the post reach the queue
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		return err
+	}
+	if err := <-pending; err != nil {
+		return err
+	}
+	if got := s.Metrics().Gauge("serve.drain.dropped").Value(); got != 0 {
+		return fmt.Errorf("serve.drain.dropped = %v, want 0", got)
+	}
+	if code, m, err := post("alpha", 1); err != nil || code != http.StatusServiceUnavailable {
+		return fmt.Errorf("post-drain POST: code %d err %v (%v), want 503", code, err, m)
+	}
+	if code, _, err := get("/healthz"); err != nil || code != http.StatusServiceUnavailable {
+		return fmt.Errorf("post-drain GET /healthz: code %d err %v, want 503", code, err)
+	}
+	fmt.Println("http: ingest, metrics, healthz and drain-with-queued-request all OK")
+	return nil
+}

@@ -1,0 +1,142 @@
+package serve
+
+// Wall-clock server tests, run under -race by the Makefile's race target:
+// concurrent tenants racing for the last admission slot, and a graceful
+// drain with a request still queued. These go through the real LeNet-5
+// deployment, so they double as an end-to-end check of the ladder runner.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+)
+
+// Two tenants fire bursts at a server with one slot per tenant and two
+// global slots: admission must never exceed either bound, every accepted
+// request must complete, and the ledger offered = accepted + shed must hold.
+func TestConcurrentTenantsRaceForLastSlot(t *testing.T) {
+	cfg := Config{
+		Net: "lenet5", Board: "S10SX", Workers: 1,
+		BatchN: 100, DeadlineUS: 60e6, // nothing dispatches until the drain
+		TenantQueue: 1, MaxPending: 2,
+	}
+	s, err := NewServer(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perTenant = 6
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	accepted := map[string]int{}
+	shed := map[ShedReason]int{}
+	var chans []<-chan Response
+	for _, tenant := range []string{"alpha", "beta"} {
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func(tenant string, i int) {
+				defer wg.Done()
+				ch, reason := s.Submit(&Request{Tenant: tenant, Input: nn.Digit(i % 10)})
+				mu.Lock()
+				defer mu.Unlock()
+				if reason == ShedNone {
+					accepted[tenant]++
+					chans = append(chans, ch)
+				} else {
+					shed[reason]++
+				}
+			}(tenant, i)
+		}
+	}
+	wg.Wait()
+	total := accepted["alpha"] + accepted["beta"]
+	if accepted["alpha"] > 1 || accepted["beta"] > 1 || total > cfg.MaxPending {
+		t.Fatalf("admission over bounds: %v (max pending %d)", accepted, cfg.MaxPending)
+	}
+	if total+shed[ShedTenantQueue]+shed[ShedOverload] != 2*perTenant {
+		t.Fatalf("ledger broken: accepted %d shed %v, offered %d", total, shed, 2*perTenant)
+	}
+	// Drain flushes the queued partial batch; every accepted request responds.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range chans {
+		select {
+		case resp := <-ch:
+			if resp.Err != nil {
+				t.Fatalf("accepted request failed: %v", resp.Err)
+			}
+		default:
+			t.Fatal("accepted request dropped by drain (no response)")
+		}
+	}
+	if got := s.Metrics().Gauge("serve.drain.dropped").Value(); got != 0 {
+		t.Fatalf("serve.drain.dropped = %v, want 0", got)
+	}
+}
+
+// A request queued behind a long formation deadline must survive a drain
+// that begins while it waits, and the server must refuse work afterwards.
+func TestHTTPDrainWithQueuedRequest(t *testing.T) {
+	cfg := Config{
+		Net: "lenet5", Board: "S10SX", Workers: 2,
+		BatchN: 8, DeadlineUS: 60e6,
+	}
+	s, err := NewServer(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/infer", "application/json",
+			strings.NewReader(`{"tenant":"alpha","digit":3}`))
+		if err != nil {
+			done <- err
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			done <- &http.ProtocolError{ErrorString: "status " + resp.Status}
+			return
+		}
+		done <- nil
+	}()
+	// Wait until the request is actually queued before draining.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s.Metrics().Counter("serve.accepted").Value() == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("queued request did not survive the drain: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/infer", "application/json",
+		strings.NewReader(`{"tenant":"alpha","digit":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain POST: %s, want 503", resp.Status)
+	}
+}

@@ -1,0 +1,76 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func testProfile(seed int64) Profile {
+	return Profile{
+		Seed:   seed,
+		Stages: []Stage{{QPS: 1000, DurUS: 100_000}, {QPS: 4000, DurUS: 50_000}},
+		Tenants: []Tenant{
+			{Name: "alpha", Weight: 0.7},
+			{Name: "beta", Weight: 0.3},
+		},
+	}
+}
+
+func TestArrivalsDeterministicAndSorted(t *testing.T) {
+	in := func(i int) *tensor.Tensor { return nil }
+	a := testProfile(7).Arrivals(in)
+	b := testProfile(7).Arrivals(in)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths differ or empty: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].AtUS != b[i].AtUS || a[i].Tenant != b[i].Tenant {
+			t.Fatalf("arrival %d differs across identical seeds", i)
+		}
+		if i > 0 && a[i].AtUS < a[i-1].AtUS {
+			t.Fatalf("arrivals out of order at %d", i)
+		}
+		if a[i].AtUS >= testProfile(7).TotalUS() {
+			t.Fatalf("arrival %d past the ramp end", i)
+		}
+	}
+	c := testProfile(8).Arrivals(in)
+	if len(c) == len(a) && c[0].AtUS == a[0].AtUS {
+		t.Fatal("different seeds produced the same stream")
+	}
+}
+
+// The Poisson process should land near the configured rate: 1000*0.1s +
+// 4000*0.05s = 300 expected arrivals; allow a generous stochastic band.
+func TestArrivalsMatchOfferedRate(t *testing.T) {
+	a := testProfile(3).Arrivals(func(i int) *tensor.Tensor { return nil })
+	if n := len(a); math.Abs(float64(n)-300) > 60 {
+		t.Fatalf("got %d arrivals, expected about 300", n)
+	}
+	alpha := 0
+	for _, ar := range a {
+		if ar.Tenant == "alpha" {
+			alpha++
+		}
+	}
+	if frac := float64(alpha) / float64(len(a)); frac < 0.5 || frac > 0.9 {
+		t.Fatalf("alpha fraction %.2f, expected near 0.7", frac)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q, want float64
+	}{{0.5, 20}, {0.99, 40}, {0.25, 10}, {1, 40}}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.q); got != c.want {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty slice should yield 0")
+	}
+}
