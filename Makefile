@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-batch bench-sim bench-serve chaos trace serve-smoke fmt
+.PHONY: all build test race lint bench bench-batch bench-sim bench-serve bench-fleet chaos trace serve-smoke fleet-smoke fmt
 
 all: lint build test
 
@@ -17,9 +17,12 @@ test:
 # deployment builders it calls into, the runtime event queue, the metrics
 # registry the retried images publish into, the simulator (shared buffer
 # pool + execution-tier stats across batch workers), and the continuous-
-# batching server (mutex-serialized engine + worker pool + drain).
+# batching server (mutex-serialized engine + worker pool + drain). The fleet
+# layer (health-monitored devices + failover requeue) runs with -short so its
+# chaos streams stay tractable under the detector.
 race:
 	$(GO) test -race ./internal/dse/... ./internal/host/... ./internal/clrt/... ./internal/trace/... ./internal/sim/... ./internal/serve/...
+	$(GO) test -race -short ./internal/fleet/...
 
 lint:
 	@unformatted=$$(gofmt -l .); \
@@ -60,6 +63,24 @@ bench-serve:
 # server including a drain with a request still queued.
 serve-smoke:
 	$(GO) run ./cmd/fpgacnn serve-smoke
+
+# Fleet smoke: stream a fixed-QPS lenet5 workload into a two-board fleet and
+# kill one board mid-stream, across two load seeds. The fleet CLI itself
+# asserts the contracts — zero dropped requests, a well-formed failover
+# ledger, and bit-identical answers against the cpuref reference — so any
+# violation is a non-zero exit.
+fleet-smoke:
+	for seed in 1 2; do \
+		$(GO) run ./cmd/fpgacnn fleet -boards s10sx:2 -seed $$seed \
+			-kill-board s10sx-0 -kill-at-us 30000 || exit 1; \
+	done
+
+# Fleet benchmark: single board vs data-parallel replication vs pipeline
+# sharding, plus a kill-mid-stream point. Fully modeled on the virtual clock,
+# so BENCH_fleet.json is byte-deterministic and CI diffs it against the
+# checked-in copy; bench-gates asserts the replication speedup floor.
+bench-fleet:
+	$(GO) run ./cmd/fpgacnn bench-fleet -o BENCH_fleet.json
 
 # Chaos smoke: the fault-injection matrix (the Resilient/Watchdog/Ladder tests
 # sweep seeds 1-3 internally) under the race detector, the static channel

@@ -26,6 +26,10 @@
 //	fpgacnn bench-serve -o BENCH_serve.json
 //	                             # open-loop load benchmark over batching points
 //	fpgacnn serve-smoke          # drain/metrics invariants across fault seeds
+//	fpgacnn fleet -boards s10sx:2 -kill-board s10sx-0 -kill-at-us 30000
+//	                             # multi-board fleet under chaos (zero-drop gate)
+//	fpgacnn bench-fleet -o BENCH_fleet.json
+//	                             # 1-board vs replicated vs sharded fleet bench
 //
 // Subcommands that execute kernels functionally (run, verify, bench-batch,
 // bench-sim) accept -exec=interp|closure|vector to pick the simulator's
@@ -35,6 +39,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -109,6 +114,10 @@ func main() {
 		err = runBenchServe(os.Args[2:])
 	case "serve-smoke":
 		err = runServeSmoke(os.Args[2:])
+	case "fleet":
+		err = runFleet(os.Args[2:])
+	case "bench-fleet":
+		err = runBenchFleet(os.Args[2:])
 	default:
 		var rep string
 		rep, err = bench.Run(cmd)
@@ -116,6 +125,11 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fpgacnn:", err)
+		// Flag/argument conflicts exit 2 (usage), runtime failures exit 1.
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -139,10 +153,14 @@ func usage() {
   trace [-net N] [-board B] [-images N] [-o F] [-metrics] |
   chaos [-fault-seed N] [-fault-rate P] [-watchdog-us D] [-images N] [-metrics] [-trace F] |
   dse [-dse-workers N] [-dse-timeout D] [-dse-max N] [-metrics] |
-  serve [-addr A] [-net N] [-board B] [-batch-n N] [-deadline-us T] [-workers K]
-      [-tenant-queue Q] [-max-pending P] [-fault-seed S] [-fault-rate R] [-exec E] |
+  serve [-addr A] [-net N] [-board B] [-fleet MIX] [-batch-n N] [-deadline-us T]
+      [-workers K] [-tenant-queue Q] [-max-pending P] [-fault-seed S] [-fault-rate R] [-exec E] |
   bench-serve [-net N] [-board B] [-workers K] [-seed S] [-o F] [-exec E] |
-  serve-smoke [-fault-rate R] [-exec E]`)
+  serve-smoke [-fault-rate R] [-exec E] |
+  fleet [-net N] [-boards MIX] [-shard] [-qps Q] [-dur-us D] [-seed S]
+      [-kill-board DEV -kill-at-us T] [-sticky-board DEV -sticky-dur-us D]
+      [-brownout-board DEV -brownout-dur-us D -brownout-factor F] [-metrics] [-trace F] |
+  bench-fleet [-seed S] [-o F]`)
 }
 
 // runDSE drives the parallel design-space explorer experiment with explicit
@@ -391,6 +409,9 @@ func runTimed(args []string) error {
 	applyExec := execFlag(fs)
 	startProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateRunShape(*batch, *workers, *serial, *noDB, *profiling); err != nil {
 		return err
 	}
 	if err := applyExec(); err != nil {
@@ -1081,6 +1102,12 @@ func runChaos(args []string) error {
 	traceOut := fs.String("trace", "", "write a Chrome trace JSON to this path (\"-\" = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := validateFaultFlags(fs, *rate, "fault-seed", "fault-rate"); err != nil {
+		return err
+	}
+	if *watchdog < 0 {
+		return usagef("-watchdog-us must be >= 0, got %g", *watchdog)
 	}
 	ctrl := host.RunControl{FaultSeed: *seed, FaultRate: *rate, WatchdogUS: *watchdog}
 	var tc *trace.Collector

@@ -55,6 +55,7 @@ func serveFlags(fs *flag.FlagSet) func() serve.Config {
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	fleetBoards := fs.String("fleet", "", "serve through a multi-board fleet, e.g. \"s10sx:2\" or \"a10:1,s10sx:1\" (empty = single-board ladder)")
 	mkCfg := serveFlags(fs)
 	applyExec := execFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -64,7 +65,10 @@ func runServe(args []string) error {
 		return err
 	}
 	cfg := mkCfg()
-	s, err := serve.NewServer(cfg, nil)
+	if err := validateFaultFlags(fs, cfg.FaultRate, "fault-seed", "fault-rate"); err != nil {
+		return err
+	}
+	s, err := newServerMaybeFleet(cfg, *fleetBoards)
 	if err != nil {
 		return err
 	}
@@ -407,8 +411,30 @@ func smokeHTTP() error {
 		return fmt.Errorf("GET /metrics: code %d err %v (serve.requests present: %v)",
 			code, err, strings.Contains(body, "serve.requests"))
 	}
-	if code, _, err := get("/healthz"); err != nil || code != 200 {
-		return fmt.Errorf("GET /healthz: code %d err %v", code, err)
+	checkHealth := func(wantCode int, wantStatus string) error {
+		code, body, err := get("/healthz")
+		if err != nil || code != wantCode {
+			return fmt.Errorf("GET /healthz: code %d err %v, want %d", code, err, wantCode)
+		}
+		var h serve.HealthReply
+		if err := json.Unmarshal([]byte(body), &h); err != nil {
+			return fmt.Errorf("GET /healthz: not JSON: %v (%q)", err, body)
+		}
+		if h.Status != wantStatus {
+			return fmt.Errorf("GET /healthz: status %q, want %q", h.Status, wantStatus)
+		}
+		if len(h.Runners) == 0 {
+			return fmt.Errorf("GET /healthz: no per-runner health entries")
+		}
+		for _, r := range h.Runners {
+			if r.Name == "" || r.State == "" {
+				return fmt.Errorf("GET /healthz: malformed runner entry %+v", r)
+			}
+		}
+		return nil
+	}
+	if err := checkHealth(200, "ok"); err != nil {
+		return err
 	}
 
 	// Drain with a request still queued: BatchN 4 and a 20 ms deadline keep
@@ -441,8 +467,8 @@ func smokeHTTP() error {
 	if code, m, err := post("alpha", 1); err != nil || code != http.StatusServiceUnavailable {
 		return fmt.Errorf("post-drain POST: code %d err %v (%v), want 503", code, err, m)
 	}
-	if code, _, err := get("/healthz"); err != nil || code != http.StatusServiceUnavailable {
-		return fmt.Errorf("post-drain GET /healthz: code %d err %v, want 503", code, err)
+	if err := checkHealth(http.StatusServiceUnavailable, "draining"); err != nil {
+		return fmt.Errorf("post-drain: %w", err)
 	}
 	fmt.Println("http: ingest, metrics, healthz and drain-with-queued-request all OK")
 	return nil

@@ -1,0 +1,64 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBoardFaultValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		f       BoardFault
+		wantErr string
+	}{
+		{"permanent loss", BoardFault{Device: "a10-0", Kind: DeviceLoss, AtUS: 100}, ""},
+		{"bounce loss", BoardFault{Device: "a10-0", Kind: DeviceLoss, AtUS: 100, DurUS: 5000}, ""},
+		{"sticky", BoardFault{Device: "a10-0", Kind: StickyEnqueue, AtUS: 0, DurUS: 100}, ""},
+		{"brownout", BoardFault{Device: "a10-0", Kind: Brownout, AtUS: 0, DurUS: 100, Factor: 4}, ""},
+		{"no device", BoardFault{Kind: DeviceLoss}, "device name"},
+		{"negative time", BoardFault{Device: "x", Kind: DeviceLoss, AtUS: -1}, "negative time"},
+		{"sticky no window", BoardFault{Device: "x", Kind: StickyEnqueue}, "positive window"},
+		{"brownout factor", BoardFault{Device: "x", Kind: Brownout, DurUS: 10, Factor: 1}, "factor > 1"},
+		{"op-level kind", BoardFault{Device: "x", Kind: TransferFail}, "not a board-level"},
+	}
+	for _, c := range cases {
+		err := c.f.Validate()
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestBoardFaultWindows(t *testing.T) {
+	perm := BoardFault{Device: "d", Kind: DeviceLoss, AtUS: 50}
+	if !perm.Permanent() {
+		t.Fatal("DurUS 0 device-loss should be permanent")
+	}
+	if perm.EndUS() < 1e17 {
+		t.Fatalf("permanent loss EndUS = %g, want sentinel", perm.EndUS())
+	}
+	bounce := BoardFault{Device: "d", Kind: DeviceLoss, AtUS: 50, DurUS: 100}
+	if bounce.Permanent() || bounce.EndUS() != 150 {
+		t.Fatalf("bounce loss: permanent=%v end=%g, want false/150", bounce.Permanent(), bounce.EndUS())
+	}
+}
+
+func TestBoardKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		DeviceLoss:    "device-loss",
+		StickyEnqueue: "sticky-enqueue",
+		Brownout:      "brownout",
+		TransferFail:  "transfer-fail", // op-level kinds unaffected
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

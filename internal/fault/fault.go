@@ -87,6 +87,9 @@ func (k Kind) String() string {
 	case FitFlake:
 		return "fit-flake"
 	}
+	if name, ok := boardKindName(k); ok {
+		return name
+	}
 	return "?"
 }
 

@@ -21,10 +21,19 @@ import (
 	"repro/internal/trace"
 )
 
+// FrontendRunner is what the wall-clock frontend needs from a runner: batch
+// execution plus the input shape for /v1/infer payload validation. The
+// ladder runner and the fleet runner both satisfy it.
+type FrontendRunner interface {
+	Runner
+	InShape() []int
+	InputLen() int
+}
+
 // Server is the wall-clock continuous-batching server.
 type Server struct {
 	cfg    Config
-	runner *LadderRunner
+	runner FrontendRunner
 	tc     *trace.Collector
 	start  time.Time
 
@@ -40,8 +49,8 @@ type Server struct {
 	idleCh    chan struct{} // closed when a drain reaches the idle state
 }
 
-// NewServer builds the deployment and starts the worker pool. Callers serve
-// s.Handler() and must Drain before exit.
+// NewServer builds the ladder deployment and starts the worker pool. Callers
+// serve s.Handler() and must Drain before exit.
 func NewServer(cfg Config, tc *trace.Collector) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if tc == nil {
@@ -50,6 +59,16 @@ func NewServer(cfg Config, tc *trace.Collector) (*Server, error) {
 	runner, err := NewLadderRunner(cfg, tc)
 	if err != nil {
 		return nil, err
+	}
+	return NewServerWithRunner(cfg, runner, tc)
+}
+
+// NewServerWithRunner starts the worker pool over a caller-built runner (the
+// fleet layer injects its scheduler here).
+func NewServerWithRunner(cfg Config, runner FrontendRunner, tc *trace.Collector) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if tc == nil {
+		tc = trace.NewCollector()
 	}
 	s := &Server{
 		cfg:    cfg,
@@ -311,12 +330,48 @@ func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.Draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+// HealthReply is the /healthz body: overall status, drain state, and one
+// entry per runner device when the runner reports health (HealthReporter).
+type HealthReply struct {
+	Status      string         `json:"status"` // "ok", "degraded" or "draining"
+	Draining    bool           `json:"draining"`
+	Outstanding int            `json:"outstanding"`
+	Runners     []DeviceHealth `json:"runners,omitempty"`
+}
+
+// Health assembles the current health report (the /healthz body). Exposed
+// for in-process smoke drivers.
+func (s *Server) Health() HealthReply {
+	rep := HealthReply{Status: "ok", Draining: s.Draining(), Outstanding: s.outstanding()}
+	if hr, ok := s.runner.(HealthReporter); ok {
+		rep.Runners = hr.RunnerHealth()
+		healthy := 0
+		for _, d := range rep.Runners {
+			if d.State == "healthy" || d.State == "suspect" {
+				healthy++
+			}
+		}
+		if healthy < len(rep.Runners) {
+			// Some device is down but the fleet still serves (cpuref is the
+			// floor): degraded, not unavailable.
+			rep.Status = "degraded"
+		}
 	}
-	fmt.Fprintln(w, "ok")
+	if rep.Draining {
+		rep.Status = "draining"
+	}
+	return rep
+}
+
+// handleHealthz reports readiness: 200 with a JSON body while serving
+// (including degraded fleets — cpuref still answers), 503 once draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	rep := s.Health()
+	status := http.StatusOK
+	if rep.Draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rep)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

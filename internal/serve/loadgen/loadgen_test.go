@@ -1,11 +1,27 @@
 package loadgen
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 
+	"repro/internal/serve"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
+
+// echoRunner is a minimal deterministic Runner: fixed service time, rung
+// RungBatch, argmax 0.
+type echoRunner struct{ serviceUS float64 }
+
+func (e echoRunner) Run(b *serve.Batch) *serve.BatchOutcome {
+	out := &serve.BatchOutcome{ServiceUS: e.serviceUS}
+	for range b.Reqs {
+		out.Outcomes = append(out.Outcomes, serve.Outcome{ArgMax: 0, Rung: serve.RungBatch})
+	}
+	return out
+}
 
 func testProfile(seed int64) Profile {
 	return Profile{
@@ -57,6 +73,101 @@ func TestArrivalsMatchOfferedRate(t *testing.T) {
 	}
 	if frac := float64(alpha) / float64(len(a)); frac < 0.5 || frac > 0.9 {
 		t.Fatalf("alpha fraction %.2f, expected near 0.7", frac)
+	}
+}
+
+// The whole load path — arrivals, simulated engine, summary — must be
+// byte-identical across two runs with the same seed. JSON is the level the
+// CI bench gates diff at, so that is where identity is asserted.
+func TestSeededRunByteIdentical(t *testing.T) {
+	run := func() []byte {
+		prof := testProfile(11)
+		cfg := serve.Config{BatchN: 4, DeadlineUS: 400, Workers: 2}
+		tc := trace.NewCollector()
+		res := serve.RunSim(cfg, echoRunner{serviceUS: 180}, prof.Arrivals(func(i int) *tensor.Tensor { return nil }), tc)
+		sum := Summarize(prof, res, tc.Metrics())
+		b, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed, different summary bytes:\n%s\n%s", a, b)
+	}
+	var sum Summary
+	if err := json.Unmarshal(a, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed == 0 || sum.DrainDropped != 0 {
+		t.Fatalf("summary implausible: completed=%d dropped=%d", sum.Completed, sum.DrainDropped)
+	}
+}
+
+// Zero-duration stages contribute no arrivals and no weight; a ramp made
+// entirely of them offers nothing without dividing by zero anywhere.
+func TestZeroDurationStage(t *testing.T) {
+	prof := Profile{
+		Seed:    5,
+		Stages:  []Stage{{QPS: 1000, DurUS: 0}, {QPS: 2000, DurUS: 50_000}, {QPS: 9999, DurUS: 0}},
+		Tenants: []Tenant{{Name: "solo", Weight: 1}},
+	}
+	a := prof.Arrivals(func(i int) *tensor.Tensor { return nil })
+	if len(a) == 0 {
+		t.Fatal("non-empty middle stage produced no arrivals")
+	}
+	if got := prof.TotalUS(); got != 50_000 {
+		t.Fatalf("TotalUS = %v, want 50000", got)
+	}
+	if got := prof.OfferedQPS(); got != 2000 {
+		t.Fatalf("OfferedQPS = %v, want 2000 (zero-duration stages carry no weight)", got)
+	}
+	for i, ar := range a {
+		if ar.AtUS >= 50_000 {
+			t.Fatalf("arrival %d at %v lies beyond the only real stage", i, ar.AtUS)
+		}
+	}
+
+	empty := Profile{Seed: 5, Stages: []Stage{{QPS: 1000, DurUS: 0}}, Tenants: prof.Tenants}
+	if got := empty.Arrivals(func(i int) *tensor.Tensor { return nil }); len(got) != 0 {
+		t.Fatalf("all-zero ramp produced %d arrivals", len(got))
+	}
+	if got := empty.OfferedQPS(); got != 0 {
+		t.Fatalf("all-zero ramp OfferedQPS = %v, want 0", got)
+	}
+	res := serve.RunSim(serve.Config{BatchN: 4, DeadlineUS: 400, Workers: 1},
+		echoRunner{serviceUS: 100}, empty.Arrivals(func(i int) *tensor.Tensor { return nil }), trace.NewCollector())
+	sum := Summarize(empty, res, trace.NewCollector().Metrics())
+	if sum.Offered != 0 || sum.Completed != 0 || sum.SustainedQPS != 0 {
+		t.Fatalf("empty run summary not all-zero: %+v", sum)
+	}
+	if math.IsNaN(sum.ShedRate) || math.IsNaN(sum.MeanUS) || math.IsNaN(sum.P99US) {
+		t.Fatal("empty run summary contains NaN")
+	}
+}
+
+// A single request must survive the full pipeline: accepted, dispatched as
+// a partial deadline batch, and summarized with all percentiles collapsing
+// onto its one latency.
+func TestSingleRequestRun(t *testing.T) {
+	prof := Profile{Seed: 1, Stages: []Stage{{QPS: 1, DurUS: 1}}, Tenants: []Tenant{{Name: "solo", Weight: 1}}}
+	arrivals := []serve.Arrival{{AtUS: 0, Tenant: "solo"}}
+	tc := trace.NewCollector()
+	res := serve.RunSim(serve.Config{BatchN: 8, DeadlineUS: 500, Workers: 1}, echoRunner{serviceUS: 70}, arrivals, tc)
+	sum := Summarize(prof, res, tc.Metrics())
+	if sum.Offered != 1 || sum.Accepted != 1 || sum.Completed != 1 {
+		t.Fatalf("offered/accepted/completed = %d/%d/%d, want 1/1/1", sum.Offered, sum.Accepted, sum.Completed)
+	}
+	if sum.DrainDropped != 0 || sum.ShedCount != 0 {
+		t.Fatalf("dropped=%d shed=%d, want 0,0", sum.DrainDropped, sum.ShedCount)
+	}
+	if sum.P50US != sum.P99US || sum.P50US != sum.MaxUS || sum.P50US != sum.MeanUS || sum.P50US <= 0 {
+		t.Fatalf("single-sample percentiles disagree: p50=%v p99=%v max=%v mean=%v",
+			sum.P50US, sum.P99US, sum.MaxUS, sum.MeanUS)
+	}
+	if sum.Batches != 1 || sum.BatchFill <= 0 {
+		t.Fatalf("batches=%d fill=%v, want one partial batch", sum.Batches, sum.BatchFill)
 	}
 }
 

@@ -53,18 +53,77 @@ type Runner interface {
 	Run(b *Batch) *BatchOutcome
 }
 
-// batchDeployment is the slice of the host engine the runner needs; both
-// deployment shapes (Pipelined, Folded) satisfy it.
-type batchDeployment interface {
+// Deployment is the slice of the host engine a runner executes on; both
+// deployment shapes (Pipelined, Folded) satisfy it. Exported so external
+// runners (internal/fleet) build per-device deployments through the same
+// path the ladder uses.
+type Deployment interface {
 	Infer(*tensor.Tensor) (*tensor.Tensor, error)
 	RunBatch([]*tensor.Tensor, host.BatchOptions) (*host.BatchResult, error)
+}
+
+// BuildDeployment builds the deployment for net on board — the pipelined
+// channel design for LeNet-5, the folded single-CU design otherwise — and
+// returns it with the lowered reference layer chain (the cpuref ground
+// truth).
+func BuildDeployment(net string, board *fpga.Board) (Deployment, []*relay.Layer, error) {
+	g, err := nn.ByName(net)
+	if err != nil {
+		return nil, nil, err
+	}
+	layers, err := relay.Lower(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	if net == "lenet5" {
+		p, err := host.BuildPipelined(layers, host.PipeTVMAutorun, board, aoc.DefaultOptions)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, layers, nil
+	}
+	fcfg, err := bench.FoldedConfigFor(net, board)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := host.BuildFolded(layers, fcfg, board, aoc.DefaultOptions)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, layers, nil
+}
+
+// DeviceHealth is one runner- or device-level health entry reported by
+// /healthz. The ladder runner reports a single entry; the fleet runner
+// reports one per board plus the cpuref tier.
+type DeviceHealth struct {
+	Name  string `json:"name"`
+	Board string `json:"board,omitempty"`
+	// State is the device health state ("healthy", "suspect", "dead",
+	// "recovering"); single-device runners are always "healthy" while up.
+	State string `json:"state"`
+	// BacklogUS is the modeled queue depth in time units: how far in the
+	// future the device's next free slot is.
+	BacklogUS float64 `json:"backlog_us"`
+	// Served counts images this device answered; FailoversIn/Out count
+	// images rerouted to / away from it.
+	Served       int `json:"served"`
+	FailoversIn  int `json:"failovers_in,omitempty"`
+	FailoversOut int `json:"failovers_out,omitempty"`
+}
+
+// HealthReporter is implemented by runners that can describe per-device
+// health; /healthz includes the entries when the server's runner provides
+// them.
+type HealthReporter interface {
+	RunnerHealth() []DeviceHealth
 }
 
 // LadderRunner runs batches on a built deployment with the per-request
 // degradation ladder. Safe for concurrent use.
 type LadderRunner struct {
 	cfg    Config
-	dep    batchDeployment
+	dep    Deployment
 	layers []*relay.Layer
 	tc     *trace.Collector
 	inLen  int
@@ -72,6 +131,18 @@ type LadderRunner struct {
 	// attempt (transient hardware faults are time-dependent; replaying the
 	// identical seed would poison the retry forever).
 	soloSeq atomic.Int64
+	served  atomic.Int64
+}
+
+// RunnerHealth reports the ladder's single device: always healthy while the
+// process is up (device faults degrade requests, never the deployment).
+func (r *LadderRunner) RunnerHealth() []DeviceHealth {
+	return []DeviceHealth{{
+		Name:   "ladder",
+		Board:  r.cfg.Board,
+		State:  "healthy",
+		Served: int(r.served.Load()),
+	}}
 }
 
 // NewLadderRunner builds the deployment for cfg.Net/cfg.Board (pipelined for
@@ -83,31 +154,9 @@ func NewLadderRunner(cfg Config, tc *trace.Collector) (*LadderRunner, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := nn.ByName(cfg.Net)
+	dep, layers, err := BuildDeployment(cfg.Net, board)
 	if err != nil {
 		return nil, err
-	}
-	layers, err := relay.Lower(g)
-	if err != nil {
-		return nil, err
-	}
-	var dep batchDeployment
-	if cfg.Net == "lenet5" {
-		p, err := host.BuildPipelined(layers, host.PipeTVMAutorun, board, aoc.DefaultOptions)
-		if err != nil {
-			return nil, err
-		}
-		dep = p
-	} else {
-		fcfg, err := bench.FoldedConfigFor(cfg.Net, board)
-		if err != nil {
-			return nil, err
-		}
-		f, err := host.BuildFolded(layers, fcfg, board, aoc.DefaultOptions)
-		if err != nil {
-			return nil, err
-		}
-		dep = f
 	}
 	inLen := 1
 	for _, d := range layers[0].InShape {
@@ -136,6 +185,7 @@ func (r *LadderRunner) Reference(in *tensor.Tensor) (*tensor.Tensor, error) {
 // batch's deterministic formation sequence number, so a simulated run
 // injects the same faults every time.
 func (r *LadderRunner) Run(b *Batch) *BatchOutcome {
+	r.served.Add(int64(len(b.Reqs)))
 	out := &BatchOutcome{Outcomes: make([]Outcome, len(b.Reqs))}
 	inputs := make([]*tensor.Tensor, len(b.Reqs))
 	for i, req := range b.Reqs {
