@@ -637,6 +637,8 @@ type simBenchKernel struct {
 	InterpOverVectorX  float64            `json:"interp_over_vector_x"`
 	VectorLoops        int64              `json:"vector_loops"`
 	FallbackLoops      int64              `json:"fallback_loops"`
+	GemmLoops          int64              `json:"gemm_loops"`
+	GemmRuns           int64              `json:"gemm_runs"`
 }
 
 type simBenchReport struct {
@@ -706,6 +708,24 @@ func simBenchCases() ([]simBenchCase, error) {
 	cases = append(cases, simBenchCase{name: "mobilenet_fold_pw", kern: pw.Op.Kernel, scalars: scalars,
 		binds: mkBinder(map[*ir.Buffer]int{
 			pw.Op.In: 64 * 14 * 14, pw.Op.Weights: 128 * 64, pw.Op.Bias: 128, pw.Op.Out: 128 * 14 * 14})})
+
+	// One folded ResNet residual conv: 3x3 on a padded 16x16x128 input with
+	// bias + skip-add + ReLU fused in the write-back. Exercises the GEMM
+	// tier's im2col path and the full epilogue chain (bias row-broadcast,
+	// residual column add, activation).
+	rc, err := topi.ConvParamAct("rn_conv3", 3, 1, topi.ConvSched{W2vec: 7, C2vec: 4, C1vec: 4},
+		true, false, true, true, false)
+	if err != nil {
+		return nil, err
+	}
+	rcScalars, err := rc.Bind(128, 16, 16, 128)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, simBenchCase{name: "resnet_fold_conv3", kern: rc.Op.Kernel, scalars: rcScalars,
+		binds: mkBinder(map[*ir.Buffer]int{
+			rc.Op.In: 128 * 16 * 16, rc.Op.Weights: 128 * 128 * 3 * 3, rc.Op.Bias: 128,
+			rc.Op.Skip: 128 * 14 * 14, rc.Op.Out: 128 * 14 * 14})})
 	return cases, nil
 }
 
@@ -742,6 +762,13 @@ func runBenchSim(args []string) error {
 			if err := m.Run(c.kern, c.scalars); err != nil {
 				return fmt.Errorf("%s/%s: %w", c.name, tier, err)
 			}
+			if tier == sim.TierVector {
+				// Counter capture after exactly one run keeps the report
+				// deterministic (run-time counts scale with b.N otherwise).
+				s := st.Snapshot()
+				row.VectorLoops, row.FallbackLoops = s.VectorLoops, s.FallbackLoops
+				row.GemmLoops, row.GemmRuns = s.GemmLoops, s.GemmRuns
+			}
 			r := testing.Benchmark(func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if err := m.Run(c.kern, c.scalars); err != nil {
@@ -752,17 +779,13 @@ func runBenchSim(args []string) error {
 			ns := float64(r.T.Nanoseconds()) / float64(r.N)
 			row.NsPerOp[tier.String()] = ns
 			fmt.Printf("BenchmarkSim/%s/%s\t%8d\t%12.1f ns/op\n", c.name, tier, r.N, ns)
-			if tier == sim.TierVector {
-				s := st.Snapshot()
-				row.VectorLoops, row.FallbackLoops = s.VectorLoops, s.FallbackLoops
-			}
 		}
 		if v := row.NsPerOp["vector"]; v > 0 {
 			row.VectorOverClosureX = row.NsPerOp["closure"] / v
 			row.InterpOverVectorX = row.NsPerOp["interp"] / v
 		}
-		fmt.Printf("  %s: vector %.1fx over closure, %.1fx over interp (%d nests vectorized, %d fallback)\n",
-			c.name, row.VectorOverClosureX, row.InterpOverVectorX, row.VectorLoops, row.FallbackLoops)
+		fmt.Printf("  %s: vector %.1fx over closure, %.1fx over interp (%d GEMM-lowered, %d nests vectorized, %d fallback)\n",
+			c.name, row.VectorOverClosureX, row.InterpOverVectorX, row.GemmLoops, row.VectorLoops, row.FallbackLoops)
 		rep.Kernels = append(rep.Kernels, row)
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -1050,7 +1073,9 @@ func runVerify(args []string) error {
 		worst := 0.0
 		for d := 0; d <= 9; d++ {
 			in := nn.Digit(d)
-			want, err := relay.Execute(layers, in)
+			// Standalone path: the verify subcommand owns the machine, so the
+			// golden model may fan its GEMMs out (bit-identical to serial).
+			want, err := relay.ExecuteWorkers(layers, in, 0)
 			if err != nil {
 				return err
 			}

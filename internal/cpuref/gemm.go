@@ -25,6 +25,15 @@ import (
 // stays resident in L1/L2 while a row panel of weights streams over it.
 const gemmKC = 240
 
+// gemmParallelMinMACs is Conv2DGEMM's serial cutoff, in multiply-accumulates
+// (c2*k*n; one MAC = two FLOPs, so this is ~2 MiMAC ≈ 4 MFLOP). Measured with
+// BenchmarkGemmParallelCrossover (m=64, n=196, k swept): at 2^19 MACs a
+// 4-worker Gemm is ~1.75x slower than serial (546µs vs 311µs — goroutine
+// spawn/join dominates the ~300µs kernel), reaches parity at 2^20–2^21, and
+// first wins at 2^22 (3.25ms vs 3.43ms), so the guard keeps layers under 2^21
+// serial and lets anything at or above it fan out.
+const gemmParallelMinMACs = 1 << 21
+
 // Im2col unfolds a [C1,H1,W1] input into the [C1*F*F, H2*W2] patch matrix of
 // a (f,s,p) convolution: row k = (c*F+fy)*F+fx holds input element
 // in[c, s*y+fy-p, s*x+fx-p] for each output pixel n = y*W2+x (zero where the
@@ -32,7 +41,12 @@ const gemmKC = 240
 // grown as needed and returned, so callers can reuse one scratch buffer
 // across images.
 func Im2col(in *tensor.Tensor, f, s, p int, dst []float32) []float32 {
-	c1, h1, w1 := in.Shape[0], in.Shape[1], in.Shape[2]
+	return Im2colSlice(in.Data, in.Shape[0], in.Shape[1], in.Shape[2], f, s, p, dst)
+}
+
+// Im2colSlice is Im2col over a raw [c1*h1*w1] row-major slice, for callers
+// (the sim's GEMM lowering) that hold flat buffers rather than tensors.
+func Im2colSlice(data []float32, c1, h1, w1, f, s, p int, dst []float32) []float32 {
 	h2 := (h1-f+2*p)/s + 1
 	w2 := (w1-f+2*p)/s + 1
 	n := h2 * w2
@@ -42,7 +56,7 @@ func Im2col(in *tensor.Tensor, f, s, p int, dst []float32) []float32 {
 	}
 	dst = dst[:rows*n]
 	for c := 0; c < c1; c++ {
-		plane := in.Data[c*h1*w1 : (c+1)*h1*w1]
+		plane := data[c*h1*w1 : (c+1)*h1*w1]
 		for fy := 0; fy < f; fy++ {
 			for fx := 0; fx < f; fx++ {
 				row := dst[((c*f+fy)*f+fx)*n : ((c*f+fy)*f+fx+1)*n]
@@ -101,7 +115,13 @@ func gemmRows(a, b, c []float32, k, n, m0, m1 int) {
 				av := arow[kk]
 				brow := b[kk*n : (kk+1)*n]
 				for j, bv := range brow {
-					crow[j] += av * bv
+					// The explicit temporary forces the product to round to
+					// float32 before the add: the Go spec lets a compiler fuse
+					// `crow[j] += av*bv` into an FMA (and does on arm64),
+					// which would break bit-identity with the sim oracle's
+					// round-each-step accumulation.
+					p := av * bv
+					crow[j] += p
 				}
 			}
 		}
@@ -164,8 +184,7 @@ func Conv2DGEMM(in, w, bias *tensor.Tensor, s, p int, relu bool, workers int) *t
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	// Under ~1 MFLOP the goroutine fan-out costs more than it hides.
-	if int64(c2)*int64(k)*int64(n) < 1<<19 {
+	if int64(c2)*int64(k)*int64(n) < gemmParallelMinMACs {
 		workers = 1
 	}
 	Gemm(w.Data, patches, out.Data, c2, k, n, workers)

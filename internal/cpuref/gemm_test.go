@@ -1,6 +1,8 @@
 package cpuref
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/tensor"
@@ -137,5 +139,165 @@ func BenchmarkConvGEMMvsNaive(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkGemmParallelCrossover locates the problem size where a multi-worker
+// Gemm first beats serial — the measurement behind gemmParallelMinMACs. Shapes
+// mirror a folded conv layer (m output channels, n = 14x14 output pixels) with
+// the reduction depth k swept so the MAC count crosses the cutoff from below
+// and above.
+func BenchmarkGemmParallelCrossover(b *testing.B) {
+	const m, n = 64, 196
+	for _, macExp := range []int{18, 19, 20, 21, 22, 23} {
+		k := (1 << macExp) / (m * n)
+		if k < 1 {
+			k = 1
+		}
+		a := make([]float32, m*k)
+		bb := make([]float32, k*n)
+		c := make([]float32, m*n)
+		for i := range a {
+			a[i] = float32(i%13)*0.5 - 3
+		}
+		for i := range bb {
+			bb[i] = float32(i%7)*0.25 - 1
+		}
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("macs=2^%d/workers=%d", macExp, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					Gemm(a, bb, c, m, k, n, workers)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNestedFanout measures the oversubscription cost that motivated
+// capping GEMM workers in already-parallel contexts: W concurrent goroutines
+// (a RunBatch worker pool) each running a conv, either fanning every call out
+// to 4 workers ("free", the pre-fix behavior — pool x 4 goroutines contending
+// for the CPUs) or pinning each call serial ("pinned"), which is what
+// relay.Execute and the sim GEMM tier now do.
+func BenchmarkNestedFanout(b *testing.B) {
+	tc := convCase{64, 16, 16, 64, 3, 1, 0, true, true}
+	const pool = 4
+	ins := make([]*tensor.Tensor, pool)
+	ws := make([]*tensor.Tensor, pool)
+	bs := make([]*tensor.Tensor, pool)
+	for i := range ins {
+		ins[i], ws[i], bs[i] = randConv(tc, uint64(i))
+	}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"free", 4}, {"pinned", 1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for wkr := 0; wkr < pool; wkr++ {
+					wg.Add(1)
+					go func(wkr int) {
+						defer wg.Done()
+						Conv2DGEMM(ins[wkr], ws[wkr], bs[wkr], tc.s, tc.p, tc.relu, mode.workers)
+					}(wkr)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}
+
+// im2colGather is the obvious per-element gather — the oracle for the
+// stride-1 fast path's fringe arithmetic.
+func im2colGather(data []float32, c1, h1, w1, f, s, p int) []float32 {
+	h2 := (h1-f+2*p)/s + 1
+	w2 := (w1-f+2*p)/s + 1
+	out := make([]float32, c1*f*f*h2*w2)
+	for c := 0; c < c1; c++ {
+		for fy := 0; fy < f; fy++ {
+			for fx := 0; fx < f; fx++ {
+				for y := 0; y < h2; y++ {
+					for x := 0; x < w2; x++ {
+						iy, ix := s*y+fy-p, s*x+fx-p
+						var v float32
+						if iy >= 0 && iy < h1 && ix >= 0 && ix < w1 {
+							v = data[(c*h1+iy)*w1+ix]
+						}
+						out[(((c*f+fy)*f+fx)*h2+y)*w2+x] = v
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestIm2colFringesMatchGather drives the stride-1 fast path through its
+// fringe cases — taps hanging off both edges (p > 0), a filter nearly as wide
+// as the input, the degenerate single-column output, and the s > 1 fallback —
+// and diffs every element against the naive gather.
+func TestIm2colFringesMatchGather(t *testing.T) {
+	cases := []struct {
+		name                string
+		c1, h1, w1, f, s, p int
+	}{
+		{"pad-both-edges", 2, 7, 7, 3, 1, 2},
+		{"filter-near-width", 1, 6, 6, 5, 1, 2},
+		{"filter-equals-width", 1, 5, 5, 5, 1, 0},
+		{"pad-exceeds-filter-reach", 1, 4, 4, 3, 1, 3},
+		{"strided-fallback", 2, 9, 9, 3, 2, 1},
+		{"strided-padded", 1, 8, 8, 5, 3, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := make([]float32, tc.c1*tc.h1*tc.w1)
+			for i := range data {
+				data[i] = float32(i%19)*0.5 - 4
+			}
+			got := Im2colSlice(data, tc.c1, tc.h1, tc.w1, tc.f, tc.s, tc.p, nil)
+			want := im2colGather(data, tc.c1, tc.h1, tc.w1, tc.f, tc.s, tc.p)
+			if len(got) != len(want) {
+				t.Fatalf("length: got %d want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("patch[%d]: got %v want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGemmDegenerateWorkers pins the worker-clamp edges: more workers than
+// rows, and a single-row matrix, must both produce the serial result exactly.
+func TestGemmDegenerateWorkers(t *testing.T) {
+	for _, tc := range []struct{ m, k, n, workers int }{
+		{3, 17, 9, 8}, // workers > m: clamp to one row per worker
+		{1, 17, 9, 4}, // m == 1: serial short-circuit
+		{2, 1, 1, 16}, // tiny everything
+	} {
+		a := make([]float32, tc.m*tc.k)
+		b := make([]float32, tc.k*tc.n)
+		for i := range a {
+			a[i] = float32(i%11)*0.3 - 1.5
+		}
+		for i := range b {
+			b[i] = float32(i%7)*0.25 - 0.75
+		}
+		want := make([]float32, tc.m*tc.n)
+		got := make([]float32, tc.m*tc.n)
+		for i := range want {
+			want[i] = float32(i % 5)
+			got[i] = want[i]
+		}
+		Gemm(a, b, want, tc.m, tc.k, tc.n, 1)
+		Gemm(a, b, got, tc.m, tc.k, tc.n, tc.workers)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("m=%d k=%d n=%d workers=%d: c[%d] got %v want %v",
+					tc.m, tc.k, tc.n, tc.workers, i, got[i], want[i])
+			}
+		}
 	}
 }

@@ -282,8 +282,13 @@ func Add(a, b *tensor.Tensor) *tensor.Tensor {
 // gains nothing; MobileNet's wide layers scale). The panels are contiguous
 // and statically assigned, so the result is identical for every worker count.
 func Conv2DParallel(in, w, bias *tensor.Tensor, s, p int, relu bool, workers int) *tensor.Tensor {
-	if workers > runtime.NumCPU()*4 {
-		workers = runtime.NumCPU() * 4
+	// Cap at the CPU count: the GEMM workers are pure compute, so anything
+	// beyond NumCPU only adds scheduler churn. Callers already running inside
+	// a parallel context (host.RunBatch workers, the fleet's cpuref rung) must
+	// pass workers=1 — nesting a fan-out inside a fan-out oversubscribes the
+	// machine W-fold (see relay.ExecuteWorkers).
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
 	}
 	if workers < 1 {
 		workers = 1

@@ -8,6 +8,7 @@ import (
 	"repro/internal/aoc"
 	"repro/internal/fpga"
 	"repro/internal/nn"
+	"repro/internal/sim"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -268,5 +269,53 @@ func TestRunBatchPublishesSimStats(t *testing.T) {
 	snap := p.SimStats()
 	if snap.VectorRuns == 0 || snap.CacheMisses == 0 {
 		t.Fatalf("deployment snapshot empty: %+v", snap)
+	}
+}
+
+// TestRunBatchGemmTierMatchesInterpOracle is the GEMM-lowering property test
+// at deployment scope: the folded plan's parameterized convs lower whole onto
+// cpuref.Gemm on the vector tier, and every output across worker counts and
+// under fault injection must be bit-identical to the tree-walking interpreter
+// oracle. Zero guard bailouts expected on in-bounds folded schedules.
+func TestRunBatchGemmTierMatchesInterpOracle(t *testing.T) {
+	const n = 12
+	layers := lenetLayers(t)
+	inputs := batchInputs(n)
+	prev := sim.DefaultTier()
+	defer sim.SetDefaultTier(prev)
+
+	sim.SetDefaultTier(sim.TierInterp)
+	oracle, err := BuildFolded(layers, lenetFoldedConfig(), fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*tensor.Tensor, n)
+	for i, in := range inputs {
+		if want[i], err = oracle.Infer(in); err != nil {
+			t.Fatalf("interp oracle image %d: %v", i, err)
+		}
+	}
+
+	sim.SetDefaultTier(sim.TierVector)
+	f, err := BuildFolded(layers, lenetFoldedConfig(), fpga.S10SX, aoc.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		res, err := f.RunBatch(inputs, BatchOptions{
+			Workers: workers, FaultSeed: 7, FaultRate: 0.03, MaxRetries: 8})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range inputs {
+			bitEqual(t, "gemm-tier batch vs interp oracle", res.Outputs[i], want[i])
+		}
+	}
+	snap := f.SimStats()
+	if snap.GemmLoops == 0 || snap.GemmRuns == 0 {
+		t.Fatalf("folded convs did not take the GEMM lowering: %+v", snap)
+	}
+	if snap.GemmBailouts != 0 {
+		t.Errorf("GemmBailouts = %d on in-bounds folded schedules", snap.GemmBailouts)
 	}
 }

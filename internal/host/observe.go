@@ -101,4 +101,7 @@ func publishSimStats(reg *trace.Registry, s sim.StatsSnapshot) {
 	set("sim.exec.fallback_loops", s.FallbackLoops)
 	set("sim.exec.vector_runs", s.VectorRuns)
 	set("sim.exec.guard_bailouts", s.GuardBailouts)
+	set("sim.exec.gemm_loops", s.GemmLoops)
+	set("sim.exec.gemm_runs", s.GemmRuns)
+	set("sim.exec.gemm_bailouts", s.GemmBailouts)
 }

@@ -175,3 +175,408 @@ func LinearizeAccess(buf *Buffer, index []Expr, vars []*Var) (AccessPattern, boo
 	}
 	return ap, true
 }
+
+// ---------------------------------------------------------------------------
+// Whole-nest GEMM recognition.
+//
+// The per-loop analysis above vectorizes one innermost loop at a time, which
+// leaves the matmul structure of conv/dense reduction nests on the table: the
+// folded pointwise layers are literally C[m,n] += A[m,k]·B[k,n] after im2col,
+// and TVM's CPU schedules win exactly by lowering the recognized nest onto a
+// tiled GEMM. MatchGemmNest recognizes the *shape* of such a nest — a perfect
+// outer loop chain around an {init, reduce, write-back} triple over a private
+// accumulator tile — purely structurally; the stride-level classification
+// (which loop is m, which is k, whether the B operand is a zero-copy matrix
+// or needs an im2col gather) happens in the sim at run time, where symbolic
+// extents and buffer bindings are known (internal/sim/gemm.go).
+
+// GemmAct identifies the elementwise epilogue fused into a recognized nest's
+// write-back: the activation applied after the accumulator + post-adds.
+type GemmAct int
+
+const (
+	GemmActNone  GemmAct = iota
+	GemmActRelu          // max(x, 0)
+	GemmActRelu6         // min(max(x, 0), 6)
+)
+
+// GemmPart is one phase of a recognized nest: a perfect loop chain (possibly
+// empty, for dense write-backs) around exactly one Store.
+type GemmPart struct {
+	Vars    []*Var
+	Extents []Expr
+	Store   *Store
+}
+
+// GemmNest is a whole reduction nest recognized in GEMM form:
+//
+//	for outer...:                  # OuterVars (tile coordinates)
+//	  init:  for iv...: T[e] = c          # c nest-invariant
+//	  red:   for rv...: T[e] += A[·]·B[·]
+//	  write: for wv...: D[·] = act(T[e] (+ chain...))
+//
+// with T's index identical (structurally, and over the same variables) in all
+// three phases. LoadA/LoadB keep the scalar operand order of the product —
+// the sim tries both (A,B) assignments, since which operand is the weight
+// matrix and which the patch matrix is a stride property, not a syntactic
+// one. Chain holds the write-back's post-accumulator adds (bias, residual
+// skip) in scalar evaluation order.
+type GemmNest struct {
+	OuterVars    []*Var
+	OuterExtents []Expr
+
+	Init, Red, Write GemmPart
+
+	T, D         *Buffer
+	LoadA, LoadB *Load
+	TLoad        *Load
+	Chain        []*Load
+	Act          GemmAct
+}
+
+// MatchGemmNest reports whether f is a whole GEMM-shaped reduction nest.
+// Returns nil when the shape does not match; everything the sim still has to
+// verify at run time (stride classification, extent values, aliasing, bounds)
+// is deliberately NOT checked here.
+func MatchGemmNest(f *For) *GemmNest {
+	g := &GemmNest{}
+	// Perfect outer chain down to the {init, red, write} triple.
+	var s Stmt = f
+	var blk *Block
+outer:
+	for {
+		switch x := s.(type) {
+		case *For:
+			g.OuterVars = append(g.OuterVars, x.Var)
+			g.OuterExtents = append(g.OuterExtents, x.Extent)
+			s = x.Body
+		case *Block:
+			switch len(x.Stmts) {
+			case 1:
+				s = x.Stmts[0]
+			case 3:
+				blk = x
+				break outer
+			default:
+				return nil
+			}
+		default:
+			return nil
+		}
+	}
+	if !collectGemmPart(blk.Stmts[0], &g.Init) ||
+		!collectGemmPart(blk.Stmts[1], &g.Red) ||
+		!collectGemmPart(blk.Stmts[2], &g.Write) {
+		return nil
+	}
+
+	g.T = g.Red.Store.Buf
+	g.D = g.Write.Store.Buf
+	if g.T == g.D {
+		return nil
+	}
+
+	// Reduction body: T[e] = T[e] + LoadA·LoadB, with the accumulator re-load
+	// on the left (ascending-k order starts from the running value).
+	add, ok := g.Red.Store.Value.(*Binary)
+	if !ok || add.Op != Add {
+		return nil
+	}
+	accLd, ok := add.A.(*Load)
+	if !ok || accLd.Buf != g.T || !IndexEq(accLd.Index, g.Red.Store.Index) {
+		return nil
+	}
+	mul, ok := add.B.(*Binary)
+	if !ok || mul.Op != Mul {
+		return nil
+	}
+	if g.LoadA, ok = mul.A.(*Load); !ok {
+		return nil
+	}
+	if g.LoadB, ok = mul.B.(*Load); !ok {
+		return nil
+	}
+
+	// Init: same tile slot walk, nest-invariant value.
+	if g.Init.Store.Buf != g.T || !IndexEq(g.Init.Store.Index, g.Red.Store.Index) {
+		return nil
+	}
+
+	// Write-back: D[·] = act(T[e] + chain loads), left-associated, with the
+	// accumulator as the leftmost (first-evaluated) term.
+	val, act := stripGemmAct(g.Write.Store.Value)
+	g.Act = act
+	for {
+		a, ok := val.(*Binary)
+		if !ok || a.Op != Add {
+			break
+		}
+		ld, ok := a.B.(*Load)
+		if !ok {
+			return nil
+		}
+		g.Chain = append(g.Chain, ld)
+		val = a.A
+	}
+	for i, j := 0, len(g.Chain)-1; i < j; i, j = i+1, j-1 {
+		g.Chain[i], g.Chain[j] = g.Chain[j], g.Chain[i]
+	}
+	tl, ok := val.(*Load)
+	if !ok || tl.Buf != g.T || !IndexEq(tl.Index, g.Red.Store.Index) {
+		return nil
+	}
+	g.TLoad = tl
+
+	if !gemmScopesOK(f, g) {
+		return nil
+	}
+	return g
+}
+
+// collectGemmPart walks a perfect loop chain (single-statement bodies) down
+// to one Store. Anything else — a multi-statement block, an If, an Alloc, a
+// channel write — fails the match.
+func collectGemmPart(s Stmt, p *GemmPart) bool {
+	for {
+		switch x := s.(type) {
+		case *For:
+			p.Vars = append(p.Vars, x.Var)
+			p.Extents = append(p.Extents, x.Extent)
+			s = x.Body
+		case *Block:
+			if len(x.Stmts) != 1 {
+				return false
+			}
+			s = x.Stmts[0]
+		case *Store:
+			p.Store = x
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// stripGemmAct peels a recognized activation wrapper off a write-back value.
+// Both the Binary (MaxE/MinE) and Call ("max"/"min") spellings are accepted;
+// the constant must be the literal the scalar engines would see.
+func stripGemmAct(e Expr) (Expr, GemmAct) {
+	if x, c, ok := gemmMinMax(e, MinOp, "min"); ok && c == 6 {
+		if y, c2, ok := gemmMinMax(x, MaxOp, "max"); ok && c2 == 0 {
+			return y, GemmActRelu6
+		}
+		return e, GemmActNone
+	}
+	if x, c, ok := gemmMinMax(e, MaxOp, "max"); ok && c == 0 {
+		return x, GemmActRelu
+	}
+	return e, GemmActNone
+}
+
+// gemmMinMax matches op(x, const) in either Binary or Call spelling.
+func gemmMinMax(e Expr, op BinOp, fn string) (Expr, float64, bool) {
+	var a, b Expr
+	switch x := e.(type) {
+	case *Binary:
+		if x.Op != op {
+			return nil, 0, false
+		}
+		a, b = x.A, x.B
+	case *Call:
+		if x.Fn != fn || len(x.Args) != 2 {
+			return nil, 0, false
+		}
+		a, b = x.Args[0], x.Args[1]
+	default:
+		return nil, 0, false
+	}
+	switch c := b.(type) {
+	case *FloatImm:
+		return a, c.Value, true
+	case *IntImm:
+		return a, float64(c.Value), true
+	}
+	return nil, 0, false
+}
+
+// gemmScopesOK enforces the variable-scope discipline that lets the sim
+// evaluate each phase independently: extents are nest-invariant (boxes), no
+// channel reads anywhere, every phase only references its own loop variables
+// (plus the outer ones and anything bound outside the nest), the init value
+// is invariant, and the init chain covers exactly the tile-index variables of
+// the reduction scope.
+func gemmScopesOK(f *For, g *GemmNest) bool {
+	all := map[*Var]bool{}
+	WalkStmt(f, func(s Stmt) {
+		if l, ok := s.(*For); ok {
+			all[l.Var] = true
+		}
+	})
+
+	bad := false
+	WalkExprs(f, func(x Expr) {
+		if _, ok := x.(*ChannelRead); ok {
+			bad = true
+		}
+	})
+	WalkStmt(f, func(s Stmt) {
+		if l, ok := s.(*For); ok && usesVarFromSet(l.Extent, all) {
+			bad = true
+		}
+	})
+	if bad {
+		return false
+	}
+
+	if !gemmVarsDistinct(g.OuterVars, g.Init.Vars) ||
+		!gemmVarsDistinct(g.OuterVars, g.Red.Vars) ||
+		!gemmVarsDistinct(g.OuterVars, g.Write.Vars) {
+		return false
+	}
+
+	scoped := func(p *GemmPart) bool {
+		scope := gemmVarSet(g.OuterVars, p.Vars)
+		ok := true
+		check := func(e Expr) {
+			WalkExpr(e, func(x Expr) {
+				if v, isVar := x.(*Var); isVar && all[v] && !scope[v] {
+					ok = false
+				}
+			})
+		}
+		for _, ix := range p.Store.Index {
+			check(ix)
+		}
+		check(p.Store.Value)
+		return ok
+	}
+	if !scoped(&g.Init) || !scoped(&g.Red) || !scoped(&g.Write) {
+		return false
+	}
+
+	// Init value: no loads (the sim fills the tile with one float), no
+	// dependence on any nest variable.
+	inv := true
+	WalkExpr(g.Init.Store.Value, func(x Expr) {
+		switch v := x.(type) {
+		case *Load:
+			inv = false
+		case *Var:
+			if all[v] {
+				inv = false
+			}
+		}
+	})
+	if !inv {
+		return false
+	}
+
+	// The init loops must enumerate exactly the reduction-scope variables
+	// that appear in the tile index — same slots touched, extent values
+	// checked at run time.
+	need := map[*Var]bool{}
+	redVars := gemmVarSet(nil, g.Red.Vars)
+	for _, ix := range g.Red.Store.Index {
+		WalkExpr(ix, func(x Expr) {
+			if v, ok := x.(*Var); ok && redVars[v] {
+				need[v] = true
+			}
+		})
+	}
+	if len(need) != len(g.Init.Vars) {
+		return false
+	}
+	for _, v := range g.Init.Vars {
+		if !need[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func usesVarFromSet(e Expr, set map[*Var]bool) bool {
+	found := false
+	WalkExpr(e, func(x Expr) {
+		if v, ok := x.(*Var); ok && set[v] {
+			found = true
+		}
+	})
+	return found
+}
+
+func gemmVarSet(a, b []*Var) map[*Var]bool {
+	m := make(map[*Var]bool, len(a)+len(b))
+	for _, v := range a {
+		m[v] = true
+	}
+	for _, v := range b {
+		m[v] = true
+	}
+	return m
+}
+
+func gemmVarsDistinct(lists ...[]*Var) bool {
+	seen := map[*Var]bool{}
+	for _, l := range lists {
+		for _, v := range l {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+	}
+	return true
+}
+
+// ExprEq reports structural equality of two expressions, with pointer
+// identity for variables, buffers and channels. Stricter than comparing
+// String() forms: two distinct loop variables may share a name.
+func ExprEq(a, b Expr) bool {
+	switch x := a.(type) {
+	case *IntImm:
+		y, ok := b.(*IntImm)
+		return ok && x.Value == y.Value
+	case *FloatImm:
+		y, ok := b.(*FloatImm)
+		return ok && x.Value == y.Value
+	case *Var:
+		return a == b
+	case *Binary:
+		y, ok := b.(*Binary)
+		return ok && x.Op == y.Op && ExprEq(x.A, y.A) && ExprEq(x.B, y.B)
+	case *Load:
+		y, ok := b.(*Load)
+		return ok && x.Buf == y.Buf && IndexEq(x.Index, y.Index)
+	case *Call:
+		y, ok := b.(*Call)
+		if !ok || x.Fn != y.Fn || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !ExprEq(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case *Select:
+		y, ok := b.(*Select)
+		return ok && ExprEq(x.Cond, y.Cond) && ExprEq(x.A, y.A) && ExprEq(x.B, y.B)
+	case *ChannelRead:
+		y, ok := b.(*ChannelRead)
+		return ok && x.Ch == y.Ch
+	}
+	return false
+}
+
+// IndexEq is ExprEq over index vectors.
+func IndexEq(a, b []Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !ExprEq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

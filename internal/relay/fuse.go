@@ -171,8 +171,22 @@ func foldBN(l *Layer, scale, shift *tensor.Tensor) {
 
 // Execute runs the lowered layer sequence with the native references — the
 // functional golden model for end-to-end checks (the stand-in for verifying
-// accelerator output against Keras).
+// accelerator output against Keras). Convolutions run serially (workers=1):
+// Execute is called from inside already-parallel contexts (host.RunBatch
+// workers, the serve ladder's cpuref rung, the fleet's last-resort device),
+// where nesting a per-conv goroutine fan-out would oversubscribe the machine
+// W-fold. Standalone callers that own the whole machine should use
+// ExecuteWorkers.
 func Execute(layers []*Layer, input *tensor.Tensor) (*tensor.Tensor, error) {
+	return ExecuteWorkers(layers, input, 1)
+}
+
+// ExecuteWorkers is Execute with an explicit GEMM worker count for the
+// convolution layers (<=0 selects GOMAXPROCS, capped; see cpuref.Conv2DGEMM).
+// The row-panel split is static, so the output is bit-identical for every
+// worker count. Pass workers=1 from any context that is itself running on a
+// worker pool.
+func ExecuteWorkers(layers []*Layer, input *tensor.Tensor, workers int) (*tensor.Tensor, error) {
 	outs := make([]*tensor.Tensor, len(layers))
 	get := func(idx int) *tensor.Tensor {
 		if idx < 0 {
@@ -187,7 +201,7 @@ func Execute(layers []*Layer, input *tensor.Tensor) (*tensor.Tensor, error) {
 		case KPad:
 			out = cpuref.Pad2D(in, l.P)
 		case KConv:
-			out = cpuref.Conv2D(in, l.W, l.B, l.S, 0, false)
+			out = cpuref.Conv2DGEMM(in, l.W, l.B, l.S, 0, false, workers)
 			if l.HasSkip {
 				out = cpuref.Add(out, get(l.Skip))
 			}

@@ -52,6 +52,11 @@ type compiler struct {
 	vectorize bool
 	nVector   int64
 	nFallback int64
+	// gemm enables whole-nest GEMM recognition (gemm.go), tried before the
+	// per-loop vectorizer; nGemm counts recognized nests. Cleared while
+	// compiling a GEMM nest's replay twin.
+	gemm  bool
+	nGemm int64
 }
 
 func (c *compiler) slot(v *ir.Var) int {
@@ -344,6 +349,12 @@ func (c *compiler) stmtFn(s ir.Stmt) stmtFn {
 			e.bufs[s] = e.m.bufs[buf]
 		}
 	case *ir.For:
+		if c.gemm {
+			if fn := c.gemmLoop(x); fn != nil {
+				c.nGemm++
+				return fn
+			}
+		}
 		if c.vectorize {
 			if fn := c.vectorLoop(x); fn != nil {
 				c.nVector++

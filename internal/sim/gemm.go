@@ -1,0 +1,879 @@
+package sim
+
+// Whole-nest GEMM lowering — the vector tier's top rung. When the structural
+// matcher (ir.MatchGemmNest) recognizes a conv/dense reduction nest, the
+// compiler lowers the *entire* nest onto the cache-blocked cpuref.Gemm, with
+// the write-back's elementwise tail (bias add, residual add, ReLU/ReLU6)
+// fused into the epilogue. Everything the matcher could not prove
+// syntactically is verified here at run time, once per nest entry, against
+// the evaluated strides:
+//
+//   - every reduction-nest level classifies as exactly one of k (reduction),
+//     m (A rows), n (B columns) or broadcast, with the k levels forming A's
+//     contiguous minor axis and the m levels tiling A's rows exactly;
+//   - the B operand is either already the row-major [K,N] matrix (pointwise
+//     conv, dense — zero copy) or a [C1,H,W] input whose k/n strides spell
+//     out an (F,s) im2col gather, in which case cpuref.Im2colSlice builds the
+//     patch matrix into persistent scratch;
+//   - the write-back nest walks a contiguous column range of each output row
+//     and the destination is injective over the nest (no write ever lands on
+//     another write's slot), so epilogue order cannot be observed;
+//   - no operand aliases the destination or the accumulator tile.
+//
+// Any failed check replays the nest on the scalar/vector twin, counted in
+// ExecStats.GemmBailouts — the same bit-identity discipline as the per-loop
+// vectorizer. The numerical contract is exact: cpuref.Gemm accumulates in
+// ascending-k order with per-step float32 rounding (no FMA contraction), the
+// bias/residual adds happen after the full k sum in scalar evaluation order,
+// and the activation helpers are bit-identical to the closure tier's
+// math.Max/math.Min round trips (including NaN and signed-zero behavior).
+//
+// The compiled gemmLoop, its scratch (C tile, im2col patches) and the
+// verified lowering live with the per-machine compiled kernel, so a
+// host.RunBatch worker pays the lowering once and reuses the scratch for
+// every image in the batch.
+
+import (
+	"math"
+
+	"repro/internal/cpuref"
+	"repro/internal/ir"
+)
+
+const (
+	// gemmMinCols: with fewer output columns than this per row, the
+	// row-at-a-time vector microkernels already saturate — skip (uncounted).
+	gemmMinCols = 8
+	// gemmMinMACs: below this many multiply-accumulates the per-entry stride
+	// verification outweighs the GEMM win.
+	gemmMinMACs = 4096
+)
+
+// Reduction-level classes assigned by verifyAssign.
+const (
+	gclsDrop int8 = iota // extent 1: contributes nothing
+	gclsK                // reduction level (no tile/dest dependence)
+	gclsM                // tiles A's row axis
+	gclsN                // tiles B's column axis
+	gclsB                // broadcast: only the destination depends on it
+)
+
+// tryGemm outcomes.
+const (
+	gemmOK   = iota // executed on the GEMM path
+	gemmSkip        // unprofitable / zero-trip: run the twin, not a bailout
+	gemmBail        // guard failure: run the twin, counted in ExecStats
+)
+
+// flatAcc is a compiled buffer access plus its per-entry flattening: the
+// flat base/stride form evaluated against the current environment, with the
+// bounds box already checked.
+type flatAcc struct {
+	acc  *vecAccess
+	str  []int64
+	base int64
+	data []float32
+}
+
+// gemmLoop is a compiled GEMM-lowered nest plus its run-time scratch.
+// Machines are single-threaded, so scratch lives with the compiled program
+// and is reused across runs (RunBatch amortization).
+type gemmLoop struct {
+	nOuter, nRed, nEpi int
+
+	redExt  []intFn // outer extents ++ reduction-part extents
+	epiExt  []intFn // outer extents ++ write-part extents
+	initExt []intFn // init-part extents
+
+	initToRed []int // init level -> reduction-list index
+	epiToRed  []int // epi level -> reduction-list index, -1 if not shared
+
+	faT, faA, faB, faD flatAcc
+	faCh               []flatAcc
+
+	initVal floatFn
+	act     ir.GemmAct
+	twin    stmtFn // scalar/vector replay for skips and bailouts
+
+	// ---- per-entry scratch (sized at compile time) ----
+	ext, eext, iext              []int64
+	cls                          []int8
+	sDr                          []int64 // destination stride per reduction-list var
+	nrs                          []int64 // column radix per n-classified var
+	bc0, bc1, bc2                []int64 // per-dim B coefficients (im2col probe)
+	kIdx, mIdx, nIdx, eIdx, dIdx []int
+
+	gA, gB                   *flatAcc
+	M, K, N, nCov            int64
+	direct                   bool
+	icC1, icH, icW, icF, icS int64
+
+	rowExt, rowD, rowC []int64
+	rowCh              [][]int64
+	chOff              []int64
+	chCol              []bool
+	rowIdx             []int64
+
+	cbuf, patches []float32
+}
+
+// gemmLoop tries to lower the whole nest rooted at f onto cpuref.Gemm; nil
+// means "not recognized", and the caller falls through to the per-loop
+// vectorizer.
+func (c *compiler) gemmLoop(f *ir.For) stmtFn {
+	g := ir.MatchGemmNest(f)
+	if g == nil {
+		return nil
+	}
+	// The accumulator tile must be kernel-private: allocated here and never
+	// referenced outside the nest, so replacing its per-element history with
+	// one bulk GEMM is unobservable.
+	if c.kernel == nil || !gemmBufPrivate(c.kernel.Body, f, g.T) {
+		return nil
+	}
+	redVars := append(append([]*ir.Var{}, g.OuterVars...), g.Red.Vars...)
+	epiVars := append(append([]*ir.Var{}, g.OuterVars...), g.Write.Vars...)
+	gl := &gemmLoop{
+		nOuter: len(g.OuterVars),
+		nRed:   len(redVars),
+		nEpi:   len(epiVars),
+		act:    g.Act,
+	}
+	for _, x := range g.OuterExtents {
+		gl.redExt = append(gl.redExt, c.intFn(x))
+		gl.epiExt = append(gl.epiExt, c.intFn(x))
+	}
+	for _, x := range g.Red.Extents {
+		gl.redExt = append(gl.redExt, c.intFn(x))
+	}
+	for _, x := range g.Write.Extents {
+		gl.epiExt = append(gl.epiExt, c.intFn(x))
+	}
+	for _, x := range g.Init.Extents {
+		gl.initExt = append(gl.initExt, c.intFn(x))
+	}
+	findRed := func(v *ir.Var) int {
+		for i, rv := range redVars {
+			if rv == v {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, v := range g.Init.Vars {
+		r := findRed(v)
+		if r < 0 {
+			return nil // matcher guarantees this; belt and braces
+		}
+		gl.initToRed = append(gl.initToRed, r)
+	}
+	for _, v := range epiVars {
+		gl.epiToRed = append(gl.epiToRed, findRed(v))
+	}
+
+	gl.faT.acc = c.access(g.T, g.Red.Store.Index, redVars)
+	gl.faA.acc = c.access(g.LoadA.Buf, g.LoadA.Index, redVars)
+	gl.faB.acc = c.access(g.LoadB.Buf, g.LoadB.Index, redVars)
+	gl.faD.acc = c.access(g.D, g.Write.Store.Index, epiVars)
+	if gl.faT.acc == nil || gl.faA.acc == nil || gl.faB.acc == nil || gl.faD.acc == nil {
+		return nil
+	}
+	for _, ld := range g.Chain {
+		a := c.access(ld.Buf, ld.Index, epiVars)
+		if a == nil {
+			return nil
+		}
+		gl.faCh = append(gl.faCh, flatAcc{acc: a})
+	}
+	gl.initVal = c.floatFn(g.Init.Store.Value)
+
+	// Compile the replay twin with GEMM lowering off (the per-loop
+	// vectorizer still applies, so bailouts replay fast).
+	c.gemm = false
+	gl.twin = c.stmtFn(f)
+	c.gemm = true
+
+	nR, nE, nCh := gl.nRed, gl.nEpi, len(gl.faCh)
+	gl.ext = make([]int64, nR)
+	gl.eext = make([]int64, nE)
+	gl.iext = make([]int64, len(gl.initExt))
+	gl.cls = make([]int8, nR)
+	gl.sDr = make([]int64, nR)
+	gl.nrs = make([]int64, nR)
+	gl.bc0 = make([]int64, nR)
+	gl.bc1 = make([]int64, nR)
+	gl.bc2 = make([]int64, nR)
+	gl.kIdx = make([]int, 0, nR)
+	gl.mIdx = make([]int, 0, nR)
+	gl.nIdx = make([]int, 0, nR)
+	gl.eIdx = make([]int, 0, nE)
+	gl.dIdx = make([]int, 0, nE)
+	gl.faT.str = make([]int64, nR)
+	gl.faA.str = make([]int64, nR)
+	gl.faB.str = make([]int64, nR)
+	gl.faD.str = make([]int64, nE)
+	for i := range gl.faCh {
+		gl.faCh[i].str = make([]int64, nE)
+	}
+	gl.rowExt = make([]int64, nE)
+	gl.rowD = make([]int64, nE)
+	gl.rowC = make([]int64, nE)
+	gl.rowCh = make([][]int64, nCh)
+	for i := range gl.rowCh {
+		gl.rowCh[i] = make([]int64, nE)
+	}
+	gl.chOff = make([]int64, nCh)
+	gl.chCol = make([]bool, nCh)
+	gl.rowIdx = make([]int64, nE)
+	return gl.run
+}
+
+// gemmBufPrivate reports whether b is allocated by the kernel itself and
+// every load/store of b sits inside nest f.
+func gemmBufPrivate(body ir.Stmt, f *ir.For, b *ir.Buffer) bool {
+	refs := func(s ir.Stmt) int {
+		n := 0
+		ir.WalkStmt(s, func(st ir.Stmt) {
+			if sto, ok := st.(*ir.Store); ok && sto.Buf == b {
+				n++
+			}
+		})
+		ir.WalkExprs(s, func(x ir.Expr) {
+			if ld, ok := x.(*ir.Load); ok && ld.Buf == b {
+				n++
+			}
+		})
+		return n
+	}
+	alloc := false
+	ir.WalkStmt(body, func(st ir.Stmt) {
+		if al, ok := st.(*ir.Alloc); ok && al.Buf == b {
+			alloc = true
+		}
+	})
+	return alloc && refs(body) == refs(f)
+}
+
+func (gl *gemmLoop) run(e *cenv) {
+	switch gl.tryGemm(e) {
+	case gemmOK:
+		if st := e.m.stats; st != nil {
+			st.GemmRuns.Add(1)
+		}
+	case gemmBail:
+		if st := e.m.stats; st != nil {
+			st.GemmBailouts.Add(1)
+		}
+		gl.twin(e)
+	default:
+		gl.twin(e)
+	}
+}
+
+// flatten evaluates fa's flat base/strides over the given extents and checks
+// the per-dimension bounds box plus the flat upper bound, exactly like the
+// per-loop vectorizer's setup.
+func (gl *gemmLoop) flatten(fa *flatAcc, e *cenv, ext []int64) bool {
+	a := fa.acc
+	fa.data = a.ref(e)
+	str := fa.str
+	for l := range str {
+		str[l] = 0
+	}
+	fb, maxFlat := int64(0), int64(0)
+	for d := range a.dims {
+		dim := a.dims[d](e)
+		base := a.bases[d](e)
+		lo, hi := base, base
+		for l := range ext {
+			cv := a.coefs[d][l](e)
+			if cv >= 0 {
+				hi += cv * (ext[l] - 1)
+			} else {
+				lo += cv * (ext[l] - 1)
+			}
+			str[l] = str[l]*dim + cv
+		}
+		if lo < 0 || hi >= dim {
+			return false
+		}
+		fb = fb*dim + base
+		maxFlat = maxFlat*dim + hi
+	}
+	if maxFlat >= int64(len(fa.data)) {
+		return false
+	}
+	fa.base = fb
+	return true
+}
+
+func (gl *gemmLoop) tryGemm(e *cenv) int {
+	for i, fn := range gl.redExt {
+		v := fn(e)
+		if v <= 0 {
+			return gemmSkip
+		}
+		gl.ext[i] = v
+	}
+	for i, fn := range gl.epiExt {
+		v := fn(e)
+		if v <= 0 {
+			return gemmSkip
+		}
+		gl.eext[i] = v
+	}
+	for i, fn := range gl.initExt {
+		v := fn(e)
+		if v <= 0 {
+			return gemmSkip
+		}
+		gl.iext[i] = v
+	}
+	// The init loops must cover exactly the reduction's tile walk, and every
+	// shared write-back level must agree with its reduction extent.
+	for i, r := range gl.initToRed {
+		if gl.iext[i] != gl.ext[r] {
+			return gemmBail
+		}
+	}
+	for i := gl.nOuter; i < gl.nEpi; i++ {
+		if r := gl.epiToRed[i]; r >= 0 && gl.eext[i] != gl.ext[r] {
+			return gemmBail
+		}
+	}
+	if !gl.flatten(&gl.faT, e, gl.ext) ||
+		!gl.flatten(&gl.faA, e, gl.ext) ||
+		!gl.flatten(&gl.faB, e, gl.ext) ||
+		!gl.flatten(&gl.faD, e, gl.eext) {
+		return gemmBail
+	}
+	for i := range gl.faCh {
+		if !gl.flatten(&gl.faCh[i], e, gl.eext) {
+			return gemmBail
+		}
+	}
+	for i := 0; i < gl.nEpi; i++ {
+		if gl.faD.str[i] < 0 {
+			return gemmBail
+		}
+	}
+	for r := range gl.sDr {
+		gl.sDr[r] = 0
+	}
+	for i := 0; i < gl.nEpi; i++ {
+		if r := gl.epiToRed[i]; r >= 0 {
+			gl.sDr[r] = gl.faD.str[i]
+		}
+	}
+	if !gl.verifyAssign(e, &gl.faA, &gl.faB) && !gl.verifyAssign(e, &gl.faB, &gl.faA) {
+		return gemmBail
+	}
+	if !gl.verifyEpi() {
+		return gemmBail
+	}
+	if gl.nCov < gemmMinCols || gl.M*gl.K*gl.nCov < gemmMinMACs {
+		return gemmSkip
+	}
+	// Aliasing: the GEMM reads all of A/B up front and the epilogue rewrites
+	// D afterwards, so any overlap between operands, tile and destination
+	// could observe a different interleaving than the scalar nest.
+	if overlaps(gl.faD.data, gl.gA.data) || overlaps(gl.faD.data, gl.gB.data) ||
+		overlaps(gl.faD.data, gl.faT.data) ||
+		overlaps(gl.faT.data, gl.gA.data) || overlaps(gl.faT.data, gl.gB.data) {
+		return gemmBail
+	}
+	for i := range gl.faCh {
+		if overlaps(gl.faCh[i].data, gl.faD.data) || overlaps(gl.faCh[i].data, gl.faT.data) {
+			return gemmBail
+		}
+	}
+	gl.execute(e)
+	return gemmOK
+}
+
+// verifyAssign classifies every reduction-nest level against the operand
+// assignment (fa = row operand A, fb = column operand B) and checks the A
+// layout and B mode. The product's operand order is commutative for the
+// rounding contract (a single float32 multiply), so the caller tries both.
+func (gl *gemmLoop) verifyAssign(e *cenv, fa, fb *flatAcc) bool {
+	sT, sa, sb := gl.faT.str, fa.str, fb.str
+	kIdx, mIdx, nIdx := gl.kIdx[:0], gl.mIdx[:0], gl.nIdx[:0]
+	for r := 0; r < gl.nRed; r++ {
+		gl.nrs[r] = 0
+		if gl.ext[r] == 1 {
+			gl.cls[r] = gclsDrop
+			continue
+		}
+		st, sA, sB, sd := sT[r], sa[r], sb[r], gl.sDr[r]
+		if st < 0 || sA < 0 || sB < 0 {
+			return false
+		}
+		switch {
+		case st == 0 && sd == 0:
+			// Pure reduction level. At an outer position the scalar program
+			// re-initializes the tile between its iterations, which a single
+			// GEMM would sum across — bail.
+			if r < gl.nOuter || (sA == 0 && sB == 0) {
+				return false
+			}
+			gl.cls[r] = gclsK
+			kIdx = append(kIdx, r)
+		case r >= gl.nOuter && st == 0:
+			// Output-shaped level without its own tile slot: the scalar nest
+			// interleaves different (m,n) sums through one accumulator.
+			return false
+		case sA != 0 && sB != 0:
+			return false // drives both operands: not matmul-shaped
+		case sA != 0:
+			gl.cls[r] = gclsM
+			mIdx = append(mIdx, r)
+		case sB != 0:
+			gl.cls[r] = gclsN
+			nIdx = append(nIdx, r)
+		default:
+			if sd == 0 {
+				return false
+			}
+			gl.cls[r] = gclsB
+		}
+	}
+	// k levels must form A's contiguous minor axis in nest order.
+	K := int64(1)
+	for i := len(kIdx) - 1; i >= 0; i-- {
+		if sa[kIdx[i]] != K {
+			return false
+		}
+		K *= gl.ext[kIdx[i]]
+	}
+	// m levels must tile A's row axis exactly: strides K, K·e1, K·e1·e2, …
+	sortIdxBy(mIdx, func(r int) int64 { return sa[r] })
+	M, want := int64(1), K
+	for _, r := range mIdx {
+		if sa[r] != want {
+			return false
+		}
+		want *= gl.ext[r]
+		M *= gl.ext[r]
+	}
+	gl.M, gl.K = M, K
+	gl.kIdx, gl.mIdx, gl.nIdx = kIdx, mIdx, nIdx
+	if gl.tryDirectB(fa, fb) || gl.tryIm2colB(e, fb) {
+		gl.gA, gl.gB = fa, fb
+		return true
+	}
+	return false
+}
+
+// tryDirectB checks whether fb is already the row-major [K,N] matrix: the n
+// levels tile its minor axis exactly and every k level strides by whole rows.
+// Zero-copy (pointwise conv after fold, dense).
+func (gl *gemmLoop) tryDirectB(fa, fb *flatAcc) bool {
+	sb := fb.str
+	sortIdxBy(gl.nIdx, func(r int) int64 { return sb[r] })
+	N, want := int64(1), int64(1)
+	for _, r := range gl.nIdx {
+		if sb[r] != want {
+			return false
+		}
+		gl.nrs[r] = sb[r]
+		want *= gl.ext[r]
+		N *= gl.ext[r]
+	}
+	for _, r := range gl.kIdx {
+		if sb[r] != N*fa.str[r] {
+			return false
+		}
+	}
+	gl.N = N
+	gl.direct = true
+	return true
+}
+
+// tryIm2colB checks whether fb is a rank-3 [C1,H,W] input addressed as
+// in[c, s·y+fy, s·x+fx]: the k levels decompose into (channel, fy, fx)
+// phases with the patch-row radix (c·F+fy)·F+fx, and the n levels walk the
+// output pixels with uniform stride s. On success the operand is lowered by
+// cpuref.Im2colSlice into the [C1·F·F, h2·w2] patch matrix.
+func (gl *gemmLoop) tryIm2colB(e *cenv, fb *flatAcc) bool {
+	a := fb.acc
+	if len(a.dims) != 3 {
+		return false
+	}
+	var dims [3]int64
+	for d := 0; d < 3; d++ {
+		if a.bases[d](e) != 0 {
+			return false
+		}
+		dims[d] = a.dims[d](e)
+	}
+	probe := func(r int) bool {
+		gl.bc0[r] = a.coefs[0][r](e)
+		gl.bc1[r] = a.coefs[1][r](e)
+		gl.bc2[r] = a.coefs[2][r](e)
+		if gl.bc0[r] < 0 || gl.bc1[r] < 0 || gl.bc2[r] < 0 {
+			return false
+		}
+		nz := 0
+		if gl.bc0[r] != 0 {
+			nz++
+		}
+		if gl.bc1[r] != 0 {
+			nz++
+		}
+		if gl.bc2[r] != 0 {
+			nz++
+		}
+		return nz == 1
+	}
+	// k phases, minor to major: fx (input x), fy (input y), channel.
+	Fx, Fy, Kc := int64(1), int64(1), int64(1)
+	phase := 2
+	ka := int64(1)
+	for i := len(gl.kIdx) - 1; i >= 0; i-- {
+		r := gl.kIdx[i]
+		if !probe(r) {
+			return false
+		}
+		switch {
+		case gl.bc2[r] != 0:
+			if phase != 2 || gl.bc2[r] != ka || ka != Fx {
+				return false
+			}
+			Fx *= gl.ext[r]
+		case gl.bc1[r] != 0:
+			if phase == 0 || gl.bc1[r] != Fy || ka != Fx*Fy {
+				return false
+			}
+			phase = 1
+			Fy *= gl.ext[r]
+		default:
+			if gl.bc0[r] != Kc || ka != Fx*Fy*Kc {
+				return false
+			}
+			phase = 0
+			Kc *= gl.ext[r]
+		}
+		ka *= gl.ext[r]
+	}
+	if Fx != Fy {
+		return false // Im2col gathers square windows
+	}
+	f := Fx
+	// n levels: output x on the minor input dim, output y on the middle one,
+	// all scaled by one convolution stride.
+	s := int64(0)
+	for _, r := range gl.nIdx {
+		if !probe(r) || gl.bc0[r] != 0 {
+			return false
+		}
+		v := gl.bc2[r]
+		if v == 0 {
+			v = gl.bc1[r]
+		}
+		if s == 0 || v < s {
+			s = v
+		}
+	}
+	if s == 0 {
+		s = 1
+	}
+	sortIdxBy(gl.nIdx, func(r int) int64 { return gl.bc2[r] + gl.bc1[r] })
+	w2x, h2y := int64(1), int64(1)
+	for _, r := range gl.nIdx {
+		if gl.bc2[r] == 0 {
+			continue
+		}
+		if gl.bc2[r] != w2x*s {
+			return false
+		}
+		w2x *= gl.ext[r]
+	}
+	for _, r := range gl.nIdx {
+		if gl.bc1[r] == 0 {
+			continue
+		}
+		if gl.bc1[r] != h2y*s {
+			return false
+		}
+		h2y *= gl.ext[r]
+	}
+	if dims[1] < f || dims[2] < f {
+		return false
+	}
+	w2 := (dims[2]-f)/s + 1
+	h2 := (dims[1]-f)/s + 1
+	// The x levels must cover a full output row (columns are contiguous in
+	// the patch matrix); partial y coverage just reads fewer rows.
+	if w2x != w2 || h2y > h2 || Kc > dims[0] {
+		return false
+	}
+	// Im2colSlice reads the whole [C1,H,W] box, which may exceed the
+	// scalar-touched region the bounds box proved — require the binding to
+	// cover it.
+	if dims[0]*dims[1]*dims[2] > int64(len(fb.data)) {
+		return false
+	}
+	for _, r := range gl.nIdx {
+		if gl.bc2[r] != 0 {
+			gl.nrs[r] = gl.bc2[r] / s
+		} else {
+			gl.nrs[r] = gl.bc1[r] / s * w2
+		}
+	}
+	gl.N = h2 * w2
+	gl.direct = false
+	gl.icC1, gl.icH, gl.icW, gl.icF, gl.icS = dims[0], dims[1], dims[2], f, s
+	return true
+}
+
+// verifyEpi checks the write-back nest: its n levels walk a contiguous
+// [0,nCov) column prefix of each output row, every post-add chain is either
+// column-shaped (residual) or row-invariant (bias), and the destination is
+// injective over the nest so emission order is unobservable.
+func (gl *gemmLoop) verifyEpi() bool {
+	eIdx := gl.eIdx[:0]
+	for i := 0; i < gl.nEpi; i++ {
+		if r := gl.epiToRed[i]; r >= 0 && gl.cls[r] == gclsN {
+			eIdx = append(eIdx, i)
+		}
+	}
+	sortIdxBy(eIdx, func(i int) int64 { return gl.nrs[gl.epiToRed[i]] })
+	nCov, want := int64(1), int64(1)
+	for _, i := range eIdx {
+		r := gl.epiToRed[i]
+		if gl.nrs[r] != want || gl.faD.str[i] != gl.nrs[r] {
+			return false
+		}
+		want *= gl.eext[i]
+		nCov *= gl.eext[i]
+	}
+	if nCov > gl.N {
+		return false
+	}
+	gl.nCov = nCov
+	for ch := range gl.faCh {
+		col, inv := true, true
+		for _, i := range eIdx {
+			sc := gl.faCh[ch].str[i]
+			if sc != gl.nrs[gl.epiToRed[i]] {
+				col = false
+			}
+			if sc != 0 {
+				inv = false
+			}
+		}
+		if !col && !inv {
+			return false
+		}
+		gl.chCol[ch] = col
+	}
+	dIdx := gl.dIdx[:0]
+	for i := 0; i < gl.nEpi; i++ {
+		if gl.eext[i] > 1 {
+			dIdx = append(dIdx, i)
+		}
+	}
+	sortIdxBy(dIdx, func(i int) int64 { return gl.faD.str[i] })
+	span := int64(0)
+	for _, i := range dIdx {
+		sd := gl.faD.str[i]
+		if sd <= span {
+			return false
+		}
+		span += sd * (gl.eext[i] - 1)
+	}
+	return true
+}
+
+func (gl *gemmLoop) execute(e *cenv) {
+	m, k, n := gl.M, gl.K, gl.N
+	mn := m * n
+	if int64(cap(gl.cbuf)) < mn {
+		gl.cbuf = make([]float32, mn)
+	}
+	cb := gl.cbuf[:mn]
+	v0 := gl.initVal(e)
+	if math.Float32bits(v0) == 0 {
+		clear(cb)
+	} else {
+		for i := range cb {
+			cb[i] = v0
+		}
+	}
+	a := gl.gA.data[gl.gA.base:]
+	var b []float32
+	if gl.direct {
+		b = gl.gB.data[gl.gB.base:]
+	} else {
+		gl.patches = cpuref.Im2colSlice(gl.gB.data,
+			int(gl.icC1), int(gl.icH), int(gl.icW), int(gl.icF), int(gl.icS), 0, gl.patches)
+		b = gl.patches
+	}
+	// workers=1: machines run inside RunBatch's worker pool — nesting a
+	// goroutine fan-out here would oversubscribe the host (see
+	// cpuref.Conv2DParallel).
+	cpuref.Gemm(a, b, cb, int(m), int(k), int(n), 1)
+	gl.epilogue(cb)
+}
+
+// epilogue walks the write-back rows in nest order, fusing the post-add
+// chain and activation into one pass over each [0,nCov) column range.
+func (gl *gemmLoop) epilogue(cb []float32) {
+	nCov := gl.nCov
+	nch := len(gl.faCh)
+	nRow := 0
+	for i := 0; i < gl.nEpi; i++ {
+		r := gl.epiToRed[i]
+		if r >= 0 && gl.cls[r] == gclsN {
+			continue
+		}
+		gl.rowExt[nRow] = gl.eext[i]
+		gl.rowD[nRow] = gl.faD.str[i]
+		cs := int64(0)
+		if r >= 0 && gl.cls[r] == gclsM {
+			cs = gl.gA.str[r] / gl.K * gl.N
+		}
+		gl.rowC[nRow] = cs
+		for ch := 0; ch < nch; ch++ {
+			gl.rowCh[ch][nRow] = gl.faCh[ch].str[i]
+		}
+		nRow++
+	}
+	offD, cRow := gl.faD.base, int64(0)
+	for ch := 0; ch < nch; ch++ {
+		gl.chOff[ch] = gl.faCh[ch].base
+	}
+	idx := gl.rowIdx[:nRow]
+	for i := range idx {
+		idx[i] = 0
+	}
+	dD := gl.faD.data
+	for {
+		gl.emitRow(dD[offD:offD+nCov], cb[cRow:cRow+nCov])
+		l := nRow - 1
+		for ; l >= 0; l-- {
+			idx[l]++
+			if idx[l] < gl.rowExt[l] {
+				offD += gl.rowD[l]
+				cRow += gl.rowC[l]
+				for ch := 0; ch < nch; ch++ {
+					gl.chOff[ch] += gl.rowCh[ch][l]
+				}
+				break
+			}
+			idx[l] = 0
+			offD -= (gl.rowExt[l] - 1) * gl.rowD[l]
+			cRow -= (gl.rowExt[l] - 1) * gl.rowC[l]
+			for ch := 0; ch < nch; ch++ {
+				gl.chOff[ch] -= (gl.rowExt[l] - 1) * gl.rowCh[ch][l]
+			}
+		}
+		if l < 0 {
+			return
+		}
+	}
+}
+
+// emitRow writes one output row: d[i] = act(c[i] + chain…), with the adds in
+// scalar evaluation order (each one rounding to float32 before the next).
+func (gl *gemmLoop) emitRow(d, c []float32) {
+	switch len(gl.faCh) {
+	case 0:
+		switch gl.act {
+		case ir.GemmActRelu:
+			for i, v := range c {
+				d[i] = reluFast(v)
+			}
+		case ir.GemmActRelu6:
+			for i, v := range c {
+				d[i] = relu6Fast(v)
+			}
+		default:
+			copy(d, c)
+		}
+		return
+	case 1:
+		ch := &gl.faCh[0]
+		if gl.chCol[0] {
+			s := ch.data[gl.chOff[0] : gl.chOff[0]+int64(len(c))]
+			switch gl.act {
+			case ir.GemmActRelu:
+				for i, v := range c {
+					d[i] = reluFast(v + s[i])
+				}
+			case ir.GemmActRelu6:
+				for i, v := range c {
+					d[i] = relu6Fast(v + s[i])
+				}
+			default:
+				for i, v := range c {
+					d[i] = v + s[i]
+				}
+			}
+			return
+		}
+		b := ch.data[gl.chOff[0]]
+		switch gl.act {
+		case ir.GemmActRelu:
+			for i, v := range c {
+				d[i] = reluFast(v + b)
+			}
+		case ir.GemmActRelu6:
+			for i, v := range c {
+				d[i] = relu6Fast(v + b)
+			}
+		default:
+			for i, v := range c {
+				d[i] = v + b
+			}
+		}
+		return
+	}
+	for i, v := range c {
+		for ch := range gl.faCh {
+			if gl.chCol[ch] {
+				v += gl.faCh[ch].data[gl.chOff[ch]+int64(i)]
+			} else {
+				v += gl.faCh[ch].data[gl.chOff[ch]]
+			}
+		}
+		switch gl.act {
+		case ir.GemmActRelu:
+			v = reluFast(v)
+		case ir.GemmActRelu6:
+			v = relu6Fast(v)
+		}
+		d[i] = v
+	}
+}
+
+// reluFast is bit-identical to float32(math.Max(float64(v), 0)) — the
+// closure tier's max — including NaN propagation and -0 → +0.
+func reluFast(v float32) float32 {
+	if v > 0 {
+		return v
+	}
+	if v == v {
+		return 0
+	}
+	return v // NaN
+}
+
+// relu6Fast is bit-identical to min(max(v, 0), 6) through the same helpers.
+func relu6Fast(v float32) float32 {
+	v = reluFast(v)
+	if v > 6 {
+		return 6
+	}
+	return v
+}
+
+// sortIdxBy insertion-sorts idx ascending by key — the lists are a handful
+// of loop levels, and this allocates nothing.
+func sortIdxBy(idx []int, key func(int) int64) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && key(idx[j-1]) > key(idx[j]); j-- {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+		}
+	}
+}

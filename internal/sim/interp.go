@@ -279,7 +279,7 @@ func (m *Machine) Run(k *ir.Kernel, scalars map[*ir.Var]int64) (err error) {
 			m.stats.CacheMisses.Add(1)
 		}
 		c := &compiler{m: m, slots: map[*ir.Var]int{}, bufSlots: map[*ir.Buffer]int{}, kernel: k,
-			vectorize: m.tier == TierVector}
+			vectorize: m.tier == TierVector, gemm: m.tier == TierVector}
 		// Reserve scalar-argument slots before compiling the body.
 		for _, v := range k.ScalarArgs {
 			c.slot(v)
@@ -289,6 +289,7 @@ func (m *Machine) Run(k *ir.Kernel, scalars map[*ir.Var]int64) (err error) {
 		if m.stats != nil {
 			m.stats.VectorLoops.Add(c.nVector)
 			m.stats.FallbackLoops.Add(c.nFallback)
+			m.stats.GemmLoops.Add(c.nGemm)
 		}
 		m.compiled[key] = ck
 	}

@@ -64,8 +64,10 @@ func TestSharedPoolAndStatsUnderConcurrency(t *testing.T) {
 	wg.Wait()
 	<-done
 	s := stats.Snapshot()
-	if s.VectorRuns == 0 || s.CacheMisses == 0 {
-		t.Fatalf("expected vector activity across workers, got %+v", s)
+	// The conv nest now lowers whole onto the GEMM tier; either counter
+	// proves the vector engine ran across workers.
+	if s.VectorRuns+s.GemmRuns == 0 || s.CacheMisses == 0 {
+		t.Fatalf("expected vector/GEMM activity across workers, got %+v", s)
 	}
 }
 

@@ -87,13 +87,20 @@ type ExecStats struct {
 	// or aliasing) and were re-run on the scalar closures.
 	VectorRuns    atomic.Int64
 	GuardBailouts atomic.Int64
+	// GemmLoops is a compile-time count of whole nests recognized and
+	// lowered onto cpuref.Gemm (gemm.go); GemmRuns / GemmBailouts are the
+	// run-time executions vs stride-guard failures replayed on the twin.
+	GemmLoops    atomic.Int64
+	GemmRuns     atomic.Int64
+	GemmBailouts atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of ExecStats.
 type StatsSnapshot struct {
-	CacheHits, CacheMisses     int64
-	VectorLoops, FallbackLoops int64
-	VectorRuns, GuardBailouts  int64
+	CacheHits, CacheMisses            int64
+	VectorLoops, FallbackLoops        int64
+	VectorRuns, GuardBailouts         int64
+	GemmLoops, GemmRuns, GemmBailouts int64
 }
 
 // Snapshot returns current counter values; nil-safe.
@@ -108,6 +115,9 @@ func (s *ExecStats) Snapshot() StatsSnapshot {
 		FallbackLoops: s.FallbackLoops.Load(),
 		VectorRuns:    s.VectorRuns.Load(),
 		GuardBailouts: s.GuardBailouts.Load(),
+		GemmLoops:     s.GemmLoops.Load(),
+		GemmRuns:      s.GemmRuns.Load(),
+		GemmBailouts:  s.GemmBailouts.Load(),
 	}
 }
 
