@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-batch bench-sim bench-serve bench-fleet chaos trace serve-smoke fleet-smoke fmt
+.PHONY: all build test race lint bench bench-batch bench-sim bench-serve bench-fleet bench-dse chaos trace serve-smoke fleet-smoke dse-smoke fmt
 
 all: lint build test
 
@@ -81,6 +81,33 @@ fleet-smoke:
 # checked-in copy; bench-gates asserts the replication speedup floor.
 bench-fleet:
 	$(GO) run ./cmd/fpgacnn bench-fleet -o BENCH_fleet.json
+
+# Guided-vs-exhaustive DSE benchmark: guided search must find the exhaustive
+# joint-space best on LeNet with >= 10x fewer full evaluations, and at least
+# match the thesis's hand-pruned tier on MobileNet while covering its 96768-
+# point joint space with >= 100x leverage. Every figure is a pure function of
+# (seed, space) — wall time goes to stdout only — so BENCH_dse.json is
+# byte-deterministic and CI diffs it against the checked-in copy; bench-gates
+# asserts the ratios.
+bench-dse:
+	$(GO) run ./cmd/fpgacnn bench-dse -o BENCH_dse.json
+
+# DSE smoke: the guided explorer's determinism contract end to end. Two seeds,
+# each run at 1 and 8 workers with the result JSON byte-compared (fixed seed +
+# any worker count -> byte-identical result), then a cross-board transfer
+# round trip (serialize A10's model + top-K, warm-start S10SX from it).
+dse-smoke:
+	for seed in 1 2; do \
+		$(GO) run ./cmd/fpgacnn dse -dse-mode=guided -net mobilenetv1 -board S10SX \
+			-dse-max 32 -dse-seed $$seed -dse-workers 1 -json /tmp/dse_$${seed}_w1.json || exit 1; \
+		$(GO) run ./cmd/fpgacnn dse -dse-mode=guided -net mobilenetv1 -board S10SX \
+			-dse-max 32 -dse-seed $$seed -dse-workers 8 -json /tmp/dse_$${seed}_w8.json || exit 1; \
+		cmp /tmp/dse_$${seed}_w1.json /tmp/dse_$${seed}_w8.json || exit 1; \
+	done
+	$(GO) run ./cmd/fpgacnn dse -dse-mode=guided -net mobilenetv1 -board A10 \
+		-dse-max 32 -transfer-out /tmp/dse_a10_state.json
+	$(GO) run ./cmd/fpgacnn dse -dse-mode=guided -net mobilenetv1 -board S10SX \
+		-dse-max 16 -transfer-in /tmp/dse_a10_state.json
 
 # Chaos smoke: the fault-injection matrix (the Resilient/Watchdog/Ladder tests
 # sweep seeds 1-3 internally) under the race detector, the static channel

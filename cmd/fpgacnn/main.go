@@ -11,8 +11,11 @@
 //	fpgacnn verify               # static channel checks + output vs reference
 //	fpgacnn chaos [-fault-seed N] [-fault-rate P] [-watchdog-us D]
 //	                             # run the degradation ladder under fault injection
-//	fpgacnn dse [-dse-workers N] [-dse-timeout D] [-dse-max N]
+//	fpgacnn dse [-dse-mode M] [-dse-workers N] [-dse-timeout D] [-dse-max N]
 //	                             # parallel design-space exploration
+//	                             # (-dse-mode=guided: learned-cost-model search)
+//	fpgacnn bench-dse -o BENCH_dse.json
+//	                             # guided vs exhaustive search benchmark
 //	fpgacnn run -net <net> [-images N] [-metrics] [-trace F]
 //	                             # timed run with optional metrics/trace export
 //	fpgacnn run -batch N -workers K
@@ -37,7 +40,6 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -53,7 +55,6 @@ import (
 	"repro/internal/bench"
 	"repro/internal/clrt"
 	"repro/internal/codegen"
-	"repro/internal/dse"
 	"repro/internal/fpga"
 	"repro/internal/host"
 	"repro/internal/ir"
@@ -100,6 +101,8 @@ func main() {
 		err = runChaos(os.Args[2:])
 	case "dse":
 		err = runDSE(os.Args[2:])
+	case "bench-dse":
+		err = runBenchDSE(os.Args[2:])
 	case "run":
 		err = runTimed(os.Args[2:])
 	case "bench-batch":
@@ -152,7 +155,10 @@ func usage() {
   bench-sim [-o F] [-cpuprofile F] [-memprofile F] |
   trace [-net N] [-board B] [-images N] [-o F] [-metrics] |
   chaos [-fault-seed N] [-fault-rate P] [-watchdog-us D] [-images N] [-metrics] [-trace F] |
-  dse [-dse-workers N] [-dse-timeout D] [-dse-max N] [-metrics] |
+  dse [-dse-mode exhaustive|guided] [-dse-workers N] [-dse-timeout D] [-dse-max N]
+      [-dse-seed S] [-net N] [-board B] [-json F]
+      [-transfer-in F] [-transfer-out F] [-transfer-topk K] [-metrics] |
+  bench-dse [-dse-seed S] [-dse-workers N] [-o F] |
   serve [-addr A] [-net N] [-board B] [-fleet MIX] [-batch-n N] [-deadline-us T]
       [-workers K] [-tenant-queue Q] [-max-pending P] [-fault-seed S] [-fault-rate R] [-exec E] |
   bench-serve [-net N] [-board B] [-workers K] [-seed S] [-o F] [-exec E] |
@@ -161,38 +167,6 @@ func usage() {
       [-kill-board DEV -kill-at-us T] [-sticky-board DEV -sticky-dur-us D]
       [-brownout-board DEV -brownout-dur-us D -brownout-factor F] [-metrics] [-trace F] |
   bench-fleet [-seed S] [-o F]`)
-}
-
-// runDSE drives the parallel design-space explorer experiment with explicit
-// control over worker count, candidate budget and wall-time.
-func runDSE(args []string) error {
-	fs := flag.NewFlagSet("dse", flag.ContinueOnError)
-	workers := fs.Int("dse-workers", 0, "evaluation workers (0 = GOMAXPROCS)")
-	timeout := fs.Duration("dse-timeout", 0, "bound on search wall-time (0 = none)")
-	maxCand := fs.Int("dse-max", 0, "candidate budget per board (0 = default)")
-	metrics := fs.Bool("metrics", false, "print the metrics dump after the search")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	opts := dse.Options{Workers: *workers, MaxCandidates: *maxCand}
-	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-		defer cancel()
-		opts.Ctx = ctx
-	}
-	if *metrics {
-		opts.Metrics = trace.NewRegistry()
-	}
-	_, rep, err := bench.DSEExperiment(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Print(rep)
-	if *metrics {
-		fmt.Println("\n== metrics ==")
-		fmt.Print(opts.Metrics.DumpText())
-	}
-	return nil
 }
 
 // buildRunner resolves a network/board to a traced-run closure: pipelined

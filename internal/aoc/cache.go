@@ -11,10 +11,21 @@ package aoc
 // Concurrency: CompileCache is safe for concurrent use. Each distinct
 // fingerprint is analyzed exactly once (duplicate concurrent requests wait on
 // the first via sync.Once), which also makes the hit/miss counters
-// deterministic for a deterministic sequence of lookups, independent of
-// worker interleaving. The cached *KernelModel is shared across designs; this
-// is sound because a KernelModel is immutable after Analyze returns — Cycles,
-// TrafficBytes and TimeUS are pure functions of the model and the bindings.
+// deterministic for a deterministic multiset of lookups, independent of
+// worker interleaving: entry creation happens under the shard lock, so
+// exactly one lookup per fingerprint counts as a miss. The cached
+// *KernelModel is shared across designs; this is sound because a KernelModel
+// is immutable after Analyze returns — Cycles, TrafficBytes and TimeUS are
+// pure functions of the model and the bindings.
+//
+// The entry map is sharded across cacheShards independently locked segments
+// keyed on a hash of the kernel fingerprint. On a warm cache a lookup is a
+// fingerprint render plus one short critical section; with a single mutex the
+// guided explorer's evaluation workers serialize on that section at high
+// worker counts (every worker fingerprints every kernel of every candidate),
+// so the shards keep the hot path contention-free while preserving the
+// exactly-once analysis guarantee per fingerprint (each fingerprint maps to
+// exactly one shard).
 
 import (
 	"math"
@@ -25,6 +36,11 @@ import (
 	"repro/internal/fpga"
 	"repro/internal/ir"
 )
+
+// cacheShards is the number of independently locked cache segments. 32 is
+// comfortably above any worker count the explorer runs with, and small enough
+// that Len's full sweep stays trivial.
+const cacheShards = 32
 
 // CompileObserver receives one callback per memoized kernel analysis lookup.
 // It is defined here (and satisfied structurally by the observability layer)
@@ -40,11 +56,17 @@ type CompileObserver interface {
 // value is not usable; construct with NewCompileCache. A nil *CompileCache is
 // accepted everywhere and disables memoization.
 type CompileCache struct {
+	shards [cacheShards]cacheShard
+	// obs is read on every lookup and written rarely; an atomic pointer keeps
+	// the read off the shard locks.
+	obs    atomic.Pointer[CompileObserver]
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheShard struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
-	obs     CompileObserver
-	hits    atomic.Int64
-	misses  atomic.Int64
 }
 
 type cacheEntry struct {
@@ -55,7 +77,27 @@ type cacheEntry struct {
 
 // NewCompileCache returns an empty thread-safe compile cache.
 func NewCompileCache() *CompileCache {
-	return &CompileCache{entries: map[string]*cacheEntry{}}
+	c := &CompileCache{}
+	for i := range c.shards {
+		c.shards[i].entries = map[string]*cacheEntry{}
+	}
+	return c
+}
+
+// shardFor maps a fingerprint to its shard with FNV-1a; any well-mixed hash
+// works, the only requirement is that equal keys always land on the same
+// shard so the exactly-once analysis guarantee holds.
+func shardFor(key string) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return uint32(h % cacheShards)
 }
 
 // SetObserver installs an observer called on every lookup (nil removes it).
@@ -65,9 +107,11 @@ func (c *CompileCache) SetObserver(o CompileObserver) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	c.obs = o
-	c.mu.Unlock()
+	if o == nil {
+		c.obs.Store(nil)
+		return
+	}
+	c.obs.Store(&o)
 }
 
 // Stats returns the cumulative hit/miss counters. Nil-safe.
@@ -92,9 +136,14 @@ func (c *CompileCache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // analyze returns the memoized Analyze result for the kernel, computing it
@@ -104,21 +153,21 @@ func (c *CompileCache) analyze(k *ir.Kernel, board *fpga.Board, opts Options) (*
 		return Analyze(k, board, opts)
 	}
 	key := Fingerprint(k, board, opts)
-	c.mu.Lock()
-	e, ok := c.entries[key]
+	sh := &c.shards[shardFor(key)]
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
 	if !ok {
 		e = &cacheEntry{}
-		c.entries[key] = e
+		sh.entries[key] = e
 	}
-	obs := c.obs
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
 		c.misses.Add(1)
 	}
-	if obs != nil {
-		obs.ObserveCompile(k.Name, ok)
+	if obs := c.obs.Load(); obs != nil {
+		(*obs).ObserveCompile(k.Name, ok)
 	}
 	e.once.Do(func() { e.m, e.err = Analyze(k, board, opts) })
 	return e.m, e.err

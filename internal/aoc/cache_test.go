@@ -3,6 +3,7 @@ package aoc
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/fpga"
@@ -91,6 +92,73 @@ func TestCachedModelRebindsForeignVars(t *testing.T) {
 	}
 	if tr := d2.Kernels[0].TrafficBytes(map[*ir.Var]int64{n2: 1000}); tr != d1.Kernels[0].TrafficBytes(map[*ir.Var]int64{n1: 1000}) {
 		t.Fatal("traffic must match under foreign bindings")
+	}
+}
+
+// TestCompileCacheConcurrent hammers one cache from many goroutines (run
+// under -race); each distinct kernel must be analyzed exactly once.
+// countingObserver tallies lookups; safe for concurrent use.
+type countingObserver struct {
+	hits, misses atomic.Int64
+}
+
+func (o *countingObserver) ObserveCompile(kernel string, hit bool) {
+	if hit {
+		o.hits.Add(1)
+	} else {
+		o.misses.Add(1)
+	}
+}
+
+// TestCompileCacheShardedSingleflight drives far more distinct kernels than
+// there are shards from many goroutines at once (run under -race): every
+// distinct fingerprint must be analyzed exactly once no matter which shard it
+// lands on, hit/miss accounting must be exact, and the observer must see the
+// same totals as the counters.
+func TestCompileCacheShardedSingleflight(t *testing.T) {
+	cache := NewCompileCache()
+	obs := &countingObserver{}
+	cache.SetObserver(obs)
+	const goroutines, distinct = 16, 3 * cacheShards
+	kernels := make([]*ir.Kernel, distinct)
+	for i := range kernels {
+		kernels[i], _ = symCopy(fmt.Sprintf("shard%d", i))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range kernels {
+				// Fresh structural copy per goroutine: identical fingerprint,
+				// zero shared pointers, like successive explorer candidates.
+				k, _ := symCopy(kernels[i].Name)
+				if _, err := CompileCached("s", []*ir.Kernel{k}, fpga.S10SX, DefaultOptions, cache); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, m := cache.Stats()
+	if m != distinct {
+		t.Fatalf("misses = %d, want %d (singleflight: one analysis per fingerprint)", m, distinct)
+	}
+	if h+m != goroutines*distinct {
+		t.Fatalf("lookups = %d, want %d", h+m, goroutines*distinct)
+	}
+	if cache.Len() != distinct {
+		t.Fatalf("cache holds %d entries, want %d", cache.Len(), distinct)
+	}
+	if oh, om := obs.hits.Load(), obs.misses.Load(); oh != h || om != m {
+		t.Fatalf("observer saw %d/%d, counters say %d/%d", oh, om, h, m)
 	}
 }
 

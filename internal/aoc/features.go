@@ -1,0 +1,39 @@
+package aoc
+
+// EvalFeatures is the flat numeric summary of one full compile-model
+// evaluation: everything a search layer wants to learn from after paying for
+// a complete Compile (fit + route + fmax). The design-space explorer's
+// learned cost model trains on these labels; they are also what the trace
+// registry publishes per candidate. All fields are pure functions of the
+// Design, so exporting them costs nothing beyond the compile already paid.
+type EvalFeatures struct {
+	FmaxMHz   float64
+	DSPs      int
+	LogicFrac float64
+	RAMFrac   float64
+	DSPFrac   float64
+	// Demand/Capacity expose the routing-congestion margin; DemandFrac is
+	// their ratio (0 when the board has no capacity table entry).
+	Demand     float64
+	Capacity   float64
+	DemandFrac float64
+	Fits       bool
+	Routed     bool
+}
+
+// Features exports the evaluation summary of a compiled design.
+func (d *Design) Features() EvalFeatures {
+	f := EvalFeatures{
+		FmaxMHz:  d.FmaxMHz,
+		DSPs:     d.TotalArea.DSPs,
+		Demand:   d.WorstDemand,
+		Capacity: d.Capacity,
+		Fits:     d.Fits,
+		Routed:   d.Routed,
+	}
+	f.LogicFrac, f.RAMFrac, f.DSPFrac = d.Utilization()
+	if d.Capacity > 0 {
+		f.DemandFrac = d.WorstDemand / d.Capacity
+	}
+	return f
+}

@@ -1,0 +1,654 @@
+package dse
+
+// Guided search: a seeded simulated-annealing/evolutionary explorer over the
+// joint schedule space (space.go) that ranks mutation batches with the
+// online-trained cost model (model.go) before paying full compile-model cost,
+// with ε-greedy exploration so the model cannot lock out regions it has
+// never seen.
+//
+// # Determinism
+//
+// Fixed seed + any worker count → byte-identical GuidedResult. The invariants
+// that make this hold:
+//
+//   - Every stochastic draw (mutation axis/step/direction, ε coin flips,
+//     random restarts) comes from one splitmix64 stream consumed sequentially
+//     by the coordinator. Workers never see the RNG.
+//   - Generations are barriers: a batch is chosen, then evaluated in
+//     parallel into a slot-indexed array (runJobs), then folded into the
+//     model in slot order. Worker interleaving cannot reorder observations.
+//   - The cost model is refit from its training rows in insertion order with
+//     fixed-order float summation; candidate pools are sorted by
+//     (score, key) with exact comparisons.
+//   - No wall-clock anywhere in the search: annealing temperature decays per
+//     generation, never per second, and the trace spans sit on a modeled-time
+//     axis. Wall time is reported to stdout by callers, never inside Result.
+//   - The compile cache's singleflight guarantees exactly one counted miss
+//     per distinct kernel fingerprint, so even CacheHits/CacheMisses are
+//     scheduling-independent.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/aoc"
+	"repro/internal/fpga"
+	"repro/internal/ir"
+	"repro/internal/relay"
+	"repro/internal/topi"
+	"repro/internal/trace"
+)
+
+// GuidedOptions configures a guided exploration run. The zero value uses
+// the embedded Options defaults plus seed 0, population 8, 6 mutations per
+// parent, ε = 0.25 and patience 6.
+type GuidedOptions struct {
+	Options
+	// Seed fixes the search trajectory; two runs with equal seeds (and any
+	// worker counts) return byte-identical results.
+	Seed int64
+	// PopSize is the number of parents kept per generation and the full-
+	// evaluation batch size; <= 0 means 8.
+	PopSize int
+	// MutPerParent is the number of mutations proposed per parent per
+	// generation; <= 0 means 6.
+	MutPerParent int
+	// Epsilon is the per-batch-slot probability of picking a random proposal
+	// instead of the model's best; < 0 means 0, 0 means the default 0.25.
+	Epsilon float64
+	// Patience stops the search after this many generations without a new
+	// best; <= 0 means 6.
+	Patience int
+	// Transfer warm-starts the search from another board's serialized state
+	// when the space signatures match (population seeded from its top-K,
+	// model seeded from its weights). Nil starts cold.
+	Transfer *TransferState
+}
+
+// GuidedCandidate is one fully evaluated point with its space coordinates
+// and the model's prediction at selection time.
+type GuidedCandidate struct {
+	// Key is the canonical point encoding (axis value indices).
+	Key string `json:"key"`
+	// Axes maps axis names to the chosen values.
+	Axes map[string]int `json:"axes"`
+	// Predicted is the model score when the point was selected for
+	// evaluation (heuristic for seed points).
+	Predicted float64 `json:"predicted"`
+	Candidate
+}
+
+// JointResult augments Result with the joint-space geometry.
+type JointResult struct {
+	Result
+	// SpaceSize is the total number of joint points (feasible or not).
+	SpaceSize int64
+	// SpaceSig identifies the space's coordinate system (board-independent).
+	SpaceSig string
+}
+
+// GuidedResult is the guided explorer's outcome.
+type GuidedResult struct {
+	JointResult
+	Seed        int64
+	Generations int
+	// RankCorr is the Spearman rank correlation between the model's
+	// predictions at selection time and the actual modeled times, over all
+	// synthesizable evaluations (0 when fewer than two).
+	RankCorr float64
+	// Ranked holds every evaluated point in ranking order (synthesizable
+	// first, fastest first, evaluation order breaking ties).
+	Ranked []GuidedCandidate
+	// Model is the final fitted cost model, serializable for transfer.
+	Model TransferModel
+}
+
+// evalRec is the coordinator's record of one paid full evaluation.
+type evalRec struct {
+	p    Point
+	key  string
+	pred float64
+	cand *Candidate
+}
+
+// ExploreGuided runs guided search over the joint schedule space of the
+// network. See the file comment for the determinism contract.
+func ExploreGuided(layers []*relay.Layer, net string, board *fpga.Board, opts GuidedOptions) (*GuidedResult, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	budget := opts.MaxCandidates
+	if budget <= 0 {
+		budget = 64
+	}
+	popSize := opts.PopSize
+	if popSize <= 0 {
+		popSize = 8
+	}
+	mutPerParent := opts.MutPerParent
+	if mutPerParent <= 0 {
+		mutPerParent = 6
+	}
+	eps := opts.Epsilon
+	if eps == 0 {
+		eps = 0.25
+	} else if eps < 0 {
+		eps = 0
+	}
+	patience := opts.Patience
+	if patience <= 0 {
+		patience = 6
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cache := opts.Cache
+	if cache == nil && !opts.NoCache {
+		cache = aoc.NewCompileCache()
+	}
+	if opts.Metrics != nil {
+		cache.SetObserver(trace.CacheObserver{Reg: opts.Metrics})
+	}
+	hits0, misses0 := cache.Stats()
+	t0 := time.Now()
+
+	space := BuildSpace(layers, net)
+	res := &GuidedResult{
+		JointResult: JointResult{
+			Result:    Result{Board: board, Net: net},
+			SpaceSize: space.Size(),
+			SpaceSig:  space.Sig(),
+		},
+		Seed: opts.Seed,
+	}
+	defer func() {
+		hits1, misses1 := cache.Stats()
+		res.CacheHits = hits1 - hits0
+		res.CacheMisses = misses1 - misses0
+		if m := opts.Metrics; m != nil {
+			m.Counter("dse.evaluated").Add(int64(res.Evaluated))
+			m.Counter("dse.pruned").Add(int64(res.Pruned))
+			m.Counter("dse.pruned_bandwidth").Add(int64(res.PrunedBandwidth))
+			m.Counter("dse.pruned_route").Add(int64(res.PrunedRoute))
+			m.Counter("dse.generations").Add(int64(res.Generations))
+			m.Counter("dse.cache_hits").Add(res.CacheHits)
+			m.Counter("dse.cache_misses").Add(res.CacheMisses)
+			m.Gauge("dse.cache_hit_ratio").Set(res.CacheHitRate())
+			m.Gauge("dse.model_rank_corr").Set(res.RankCorr)
+			m.Gauge("dse.space_size").Set(float64(res.SpaceSize))
+			if el := time.Since(t0).Seconds(); el > 0 {
+				m.Gauge("dse.candidates_per_sec").Set(float64(res.Evaluated) / el)
+			}
+		}
+	}()
+
+	rng := newRNG(opts.Seed)
+	model := newCostModel(space, board)
+	seen := map[string]bool{}           // evaluated or selected for evaluation
+	infeasibleSeen := map[string]bool{} // counted bandwidth prunes
+	var recs []*evalRec
+
+	// feasible screens a proposal, counting each distinct infeasible key once.
+	feasible := func(p Point, key string) bool {
+		ok, _ := space.Feasible(p, board)
+		if !ok && !infeasibleSeen[key] {
+			infeasibleSeen[key] = true
+			res.Pruned++
+			res.PrunedBandwidth++
+		}
+		return ok
+	}
+
+	// evalBatch pays full compile-model cost for a batch of points in
+	// parallel, then folds results into the model in slot order.
+	evalBatch := func(points []Point, preds []float64) error {
+		cands := make([]*Candidate, len(points))
+		done, errs := runJobs(ctx, len(points), workers, func(i int) error {
+			cand, err := evaluate(layers, space.Config(points[i]), board, cache)
+			if err != nil {
+				return err
+			}
+			cands[i] = cand
+			return nil
+		})
+		for i, err := range errs {
+			if done[i] && err != nil {
+				return err
+			}
+		}
+		for i := range points {
+			if !done[i] || cands[i] == nil {
+				continue // canceled before this slot ran
+			}
+			recs = append(recs, &evalRec{p: points[i], key: space.Key(points[i]), pred: preds[i], cand: cands[i]})
+			model.observe(points[i], cands[i])
+		}
+		model.fit()
+		return nil
+	}
+
+	// --- Warm start (transfer tuning) ---
+	var seedPts []Point
+	var seedPreds []float64
+	addSeed := func(p Point) {
+		if len(seedPts) >= popSize || len(seedPts) >= budget {
+			return
+		}
+		key := space.Key(p)
+		if seen[key] || !feasible(p, key) {
+			return
+		}
+		seen[key] = true
+		seedPts = append(seedPts, p.Clone())
+		seedPreds = append(seedPreds, model.score(p))
+	}
+	if t := opts.Transfer; t != nil && t.SpaceSig == space.Sig() {
+		model.warmStart(t.Model.TimeWeights, t.Model.FeasWeights, t.Model.MaxTimeUS)
+		// Transferred points take at most half the population: the source
+		// board's frontier is a prior, not a substitute for this board's own
+		// preference seeds (boards disagree on routability and bandwidth, so
+		// a full takeover would anchor the search in the wrong region).
+		for _, e := range t.TopK {
+			if len(seedPts) >= popSize/2 {
+				break
+			}
+			if p, err := space.PointFromKey(e.Key); err == nil {
+				addSeed(p)
+			}
+		}
+	}
+	// Preference seeds: the exhaustive tier's §4.11 enumeration order
+	// (largest total unroll first, balanced channel factors breaking ties)
+	// embeds the thesis's factor-selection heuristics, and the same
+	// routability probe screens out tilings whose dominant kernel cannot
+	// route alone (cheap: one kernel compile each, memoized). Seeding the
+	// population with the surviving frontier starts guided search in
+	// exhaustive's best region, so the budget is spent refining the axes
+	// exhaustive fixes (dense kvec, depthwise width, F×F unroll, workaround)
+	// rather than rediscovering the 1x1 tiling from scratch. Probe compiles
+	// are not full evaluations and do not count against the budget — the
+	// exhaustive tier accounts them identically.
+	seedsPref, probePruned := preferenceSeeds(space, board, popSize-2, cache)
+	res.Pruned += probePruned
+	res.PrunedRoute += probePruned
+	for _, p := range seedsPref {
+		addSeed(p)
+	}
+	// Greedy seed: every axis at max, repaired to feasibility by walking the
+	// largest bandwidth-implicated unroll down.
+	greedy := make(Point, len(space.Axes))
+	for i := range greedy {
+		greedy[i] = len(space.Axes[i].Values) - 1
+	}
+	for tries := 0; tries < 64; tries++ {
+		if ok, _ := space.Feasible(greedy, board); ok {
+			break
+		}
+		bestAx, bestVal := -1, 0
+		for _, name := range []string{axPWW2, axPWC1, axC33W2, axC33C1} {
+			if i, ok := space.idx[name]; ok && greedy[i] > 0 {
+				if v := space.Axes[i].Values[greedy[i]]; v > bestVal {
+					bestAx, bestVal = i, v
+				}
+			}
+		}
+		if bestAx < 0 {
+			break
+		}
+		greedy[bestAx]--
+	}
+	addSeed(greedy)
+	// Conservative seed: every axis at its smallest value.
+	addSeed(make(Point, len(space.Axes)))
+	// Random seeds fill the remaining population slots.
+	for tries := 0; tries < 20*popSize && len(seedPts) < popSize && len(seedPts) < budget; tries++ {
+		addSeed(randomPoint(space, rng))
+	}
+	if err := evalBatch(seedPts, seedPreds); err != nil {
+		return nil, err
+	}
+
+	// --- Annealed generations ---
+	temp := 1.0
+	best := bestSynth(recs)
+	stale := 0
+	for len(recs) < budget && stale < patience && ctx.Err() == nil {
+		parents := rankRecs(recs)
+		if len(parents) > popSize {
+			parents = parents[:popSize]
+		}
+		if len(parents) == 0 {
+			break
+		}
+		// Propose mutations; dedup within the generation and against
+		// everything already evaluated.
+		type prop struct {
+			p     Point
+			key   string
+			score float64
+		}
+		var props []prop
+		inGen := map[string]bool{}
+		for _, par := range parents {
+			for m := 0; m < mutPerParent; m++ {
+				child := mutate(space, par.p, rng, temp)
+				key := space.Key(child)
+				if seen[key] || inGen[key] {
+					continue
+				}
+				inGen[key] = true
+				if !feasible(child, key) {
+					continue
+				}
+				props = append(props, prop{child, key, model.score(child)})
+			}
+		}
+		// Random restarts keep the pool alive when mutation dries up.
+		for tries := 0; tries < 50 && len(props) == 0; tries++ {
+			p := randomPoint(space, rng)
+			key := space.Key(p)
+			if seen[key] || inGen[key] || !feasible(p, key) {
+				continue
+			}
+			inGen[key] = true
+			props = append(props, prop{p, key, model.score(p)})
+		}
+		if len(props) == 0 {
+			break
+		}
+		sort.Slice(props, func(i, j int) bool {
+			if props[i].score != props[j].score {
+				return props[i].score < props[j].score
+			}
+			return props[i].key < props[j].key
+		})
+		// ε-greedy batch selection: each slot usually takes the model's best
+		// remaining proposal, but with probability ε takes a random one.
+		batchN := popSize
+		if left := budget - len(recs); batchN > left {
+			batchN = left
+		}
+		var batchPts []Point
+		var batchPreds []float64
+		for len(batchPts) < batchN && len(props) > 0 {
+			idx := 0
+			if len(props) > 1 && rng.float() < eps {
+				idx = rng.intn(len(props))
+			}
+			pr := props[idx]
+			props = append(props[:idx], props[idx+1:]...)
+			seen[pr.key] = true
+			batchPts = append(batchPts, pr.p)
+			batchPreds = append(batchPreds, pr.score)
+		}
+		if err := evalBatch(batchPts, batchPreds); err != nil {
+			return nil, err
+		}
+		res.Generations++
+		if nb := bestSynth(recs); nb != nil && (best == nil || nb.cand.TimeUS < best.cand.TimeUS) {
+			best = nb
+			stale = 0
+		} else {
+			stale++
+		}
+		temp *= 0.8
+	}
+	res.Canceled = ctx.Err() != nil
+
+	// --- Ranking, model quality, observability ---
+	ranked := rankRecs(recs)
+	res.Evaluated = len(recs)
+	for _, r := range ranked {
+		c := *r.cand
+		res.Candidates = append(res.Candidates, c)
+		res.Ranked = append(res.Ranked, GuidedCandidate{
+			Key: r.key, Axes: space.Values(r.p), Predicted: r.pred, Candidate: c,
+		})
+	}
+	// Model quality: rank correlation between the *final* fitted model's
+	// predictions and the actual modeled times over everything evaluated
+	// (selection-time predictions are used before the model's first fit, but
+	// they mix heuristic and model scales and would understate the model).
+	var preds, actuals []float64
+	for _, r := range recs {
+		if r.cand.Synthesizable {
+			pred := r.pred
+			if model.wTime != nil {
+				// Time head only: the feasibility penalty is part of the
+				// search objective but not of the latency prediction being
+				// scored here.
+				pred = dot(model.wTime, featurize(space, board, r.p))
+			}
+			preds = append(preds, pred)
+			actuals = append(actuals, r.cand.TimeUS)
+		}
+	}
+	res.RankCorr = trace.SpearmanRank(preds, actuals)
+	res.Model = TransferModel{TimeWeights: model.wTime, FeasWeights: model.wFeas, MaxTimeUS: model.maxTime}
+
+	if opts.Trace != nil || opts.Metrics != nil {
+		var cursor float64
+		for i, r := range recs {
+			opts.Metrics.Histogram("dse.candidate_time_us").Observe(r.cand.TimeUS)
+			dur := r.cand.TimeUS
+			if dur <= 0 {
+				dur = 1
+			}
+			args := map[string]string{
+				"synthesizable": fmt.Sprintf("%v", r.cand.Synthesizable),
+				"key":           r.key,
+				"predicted":     fmt.Sprintf("%.3f", r.pred),
+			}
+			if r.cand.FailReason != "" {
+				args["fail"] = r.cand.FailReason
+			}
+			opts.Trace.Add(trace.Span{Proc: "host", Track: "dse guided",
+				Name: fmt.Sprintf("eval %d", i), Cat: "candidate",
+				StartUS: cursor, DurUS: dur, Args: args})
+			cursor += dur
+		}
+	}
+	return res, nil
+}
+
+// bestSynth returns the fastest synthesizable record (ties broken by
+// evaluation order), or nil.
+func bestSynth(recs []*evalRec) *evalRec {
+	var best *evalRec
+	for _, r := range recs {
+		if r.cand.Synthesizable && (best == nil || r.cand.TimeUS < best.cand.TimeUS) {
+			best = r
+		}
+	}
+	return best
+}
+
+// rankRecs orders records: synthesizable first, fastest first, evaluation
+// order breaking ties exactly (stable sort over the insertion-ordered slice).
+func rankRecs(recs []*evalRec) []*evalRec {
+	out := append([]*evalRec(nil), recs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.cand.Synthesizable != b.cand.Synthesizable {
+			return a.cand.Synthesizable
+		}
+		if !a.cand.Synthesizable {
+			return false
+		}
+		return a.cand.TimeUS < b.cand.TimeUS
+	})
+	return out
+}
+
+// mutate returns a copy of p with one or two axes perturbed. The step radius
+// shrinks with the annealing temperature; a step that clamps back onto the
+// parent's value reassigns the axis uniformly instead, so mutation always
+// moves when the axis has more than one value.
+func mutate(s *Space, p Point, rng *splitmix64, temp float64) Point {
+	child := p.Clone()
+	nAxes := 1 + rng.intn(2)
+	for a := 0; a < nAxes; a++ {
+		ax := rng.intn(len(s.Axes))
+		n := len(s.Axes[ax].Values)
+		if n == 1 {
+			continue
+		}
+		radius := 1 + int(temp*float64(n-1))
+		if radius >= n {
+			radius = n - 1
+		}
+		step := 1 + rng.intn(radius)
+		if rng.intn(2) == 0 {
+			step = -step
+		}
+		ni := child[ax] + step
+		if ni < 0 {
+			ni = 0
+		}
+		if ni >= n {
+			ni = n - 1
+		}
+		if ni == child[ax] {
+			ni = rng.intn(n)
+		}
+		child[ax] = ni
+	}
+	return child
+}
+
+// preferenceSeeds returns up to k feasible points from the exhaustive
+// tier's enumeration frontier: the dominant conv tiling axes (1x1 when the
+// network has them, else 3x3) enumerated in §4.11 preference order — total
+// unroll descending, balanced channel factors breaking ties, each 1x1
+// tiling routability-probed exactly like ExploreWith's phase 2 — with every
+// other axis at its maximum (3x3 output-channel unroll at 1, matching the
+// exhaustive tier's OptSched(w2, 1, c1)). Deterministic: pure function of
+// the space, board and probe outcomes. The second return value counts
+// combos whose probe failed to route (the caller reports them as route
+// prunes).
+func preferenceSeeds(s *Space, board *fpga.Board, k int, cache *aoc.CompileCache) ([]Point, int) {
+	if k <= 0 {
+		return nil, 0
+	}
+	base := make(Point, len(s.Axes))
+	for i := range base {
+		base[i] = len(s.Axes[i].Values) - 1
+	}
+	// The exhaustive tier schedules 3x3 convs as OptSched(w2, 1, c1): output-
+	// channel unroll on the (secondary) 3x3 group multiplies into the F×F
+	// unroll and blows the DSP budget on big boards' stems. Seeds mirror
+	// that; the annealer is free to raise it later.
+	if i, ok := s.idx[axC33C2]; ok {
+		base[i] = 0
+	}
+	type combo struct {
+		idx     []int // value indices for the tiling axes
+		unroll  int
+		balance int
+	}
+	var axes []int // positions of the tiling axes in Axes
+	var combos []combo
+	if s.hasPW {
+		iw, ic2, ic1 := s.idx[axPWW2], s.idx[axPWC2], s.idx[axPWC1]
+		axes = []int{iw, ic2, ic1}
+		for wi, w2 := range s.Axes[iw].Values {
+			for c2i, c2 := range s.Axes[ic2].Values {
+				for c1i, c1 := range s.Axes[ic1].Values {
+					combos = append(combos, combo{[]int{wi, c2i, c1i}, w2 * c2 * c1, abs(c2 - c1)})
+				}
+			}
+		}
+	} else if s.has33 {
+		iw, ic1 := s.idx[axC33W2], s.idx[axC33C1]
+		axes = []int{iw, ic1}
+		for wi, w2 := range s.Axes[iw].Values {
+			for c1i, c1 := range s.Axes[ic1].Values {
+				combos = append(combos, combo{[]int{wi, c1i}, w2 * c1, 0})
+			}
+		}
+	} else {
+		return nil, 0
+	}
+	sort.SliceStable(combos, func(i, j int) bool {
+		if combos[i].unroll != combos[j].unroll {
+			return combos[i].unroll > combos[j].unroll
+		}
+		return combos[i].balance < combos[j].balance
+	})
+	var out []Point
+	probePruned := 0
+	for _, c := range combos {
+		if len(out) >= k {
+			break
+		}
+		p := base.Clone()
+		for i, ax := range axes {
+			p[ax] = c.idx[i]
+		}
+		if s.hasPW {
+			// Routability probe (mirrors ExploreWith phase 2): a 1x1 kernel
+			// that cannot route alone can never route inside the full design.
+			w2 := s.Axes[axes[0]].Values[c.idx[0]]
+			c2 := s.Axes[axes[1]].Values[c.idx[1]]
+			c1 := s.Axes[axes[2]].Values[c.idx[2]]
+			probe, err := topi.ConvParam("dse_probe", 1, 1, topi.OptSched(w2, c2, c1), true, true, false, true)
+			if err != nil {
+				probePruned++
+				continue
+			}
+			pd, err := aoc.CompileCached("dse-probe", []*ir.Kernel{probe.Op.Kernel}, board, aoc.DefaultOptions, cache)
+			if err != nil || !pd.Synthesizable() {
+				probePruned++
+				continue
+			}
+		}
+		// Repair any remaining bandwidth infeasibility by walking the other
+		// conv group's unrolls down (the tiling axes themselves stay fixed —
+		// an infeasible combo is simply skipped).
+		for tries := 0; tries < 32; tries++ {
+			if ok, _ := s.Feasible(p, board); ok {
+				break
+			}
+			moved := false
+			for _, name := range []string{axC33W2, axC33C1, axPWW2, axPWC1} {
+				i, ok := s.idx[name]
+				if !ok || p[i] == 0 {
+					continue
+				}
+				fixed := false
+				for _, ax := range axes {
+					if ax == i {
+						fixed = true
+					}
+				}
+				if fixed {
+					continue
+				}
+				p[i]--
+				moved = true
+				break
+			}
+			if !moved {
+				break
+			}
+		}
+		if ok, _ := s.Feasible(p, board); ok {
+			out = append(out, p)
+		}
+	}
+	return out, probePruned
+}
+
+// randomPoint draws a uniform point from the space.
+func randomPoint(s *Space, rng *splitmix64) Point {
+	p := make(Point, len(s.Axes))
+	for i := range s.Axes {
+		p[i] = rng.intn(len(s.Axes[i].Values))
+	}
+	return p
+}

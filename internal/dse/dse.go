@@ -125,6 +125,11 @@ type Result struct {
 	// len(Candidates), even under concurrency or cancellation.
 	Evaluated int
 	Pruned    int // rejected before full compilation (divisibility/bandwidth/probe)
+	// PrunedBandwidth/PrunedRoute split Pruned by cause: the §4.11 bandwidth
+	// rule (phase 1, and infeasible mutations in guided mode) vs the
+	// routability probe (phase 2).
+	PrunedBandwidth int
+	PrunedRoute     int
 	// Canceled reports that Options.Ctx expired before the search finished;
 	// the Result then holds the candidates evaluated up to that point.
 	Canceled bool
@@ -272,6 +277,8 @@ func ExploreWith(layers []*relay.Layer, net string, board *fpga.Board, opts Opti
 		if m := opts.Metrics; m != nil {
 			m.Counter("dse.evaluated").Add(int64(res.Evaluated))
 			m.Counter("dse.pruned").Add(int64(res.Pruned))
+			m.Counter("dse.pruned_bandwidth").Add(int64(res.PrunedBandwidth))
+			m.Counter("dse.pruned_route").Add(int64(res.PrunedRoute))
 			m.Counter("dse.cache_hits").Add(res.CacheHits)
 			m.Counter("dse.cache_misses").Add(res.CacheMisses)
 			m.Gauge("dse.cache_hit_ratio").Set(res.CacheHitRate())
@@ -296,6 +303,7 @@ func ExploreWith(layers []*relay.Layer, net string, board *fpga.Board, opts Opti
 				for _, c1 := range divisorsOf(facts.pwC1, 32) {
 					if w2*c1 > 4*maxFloats || w2 < 2 {
 						res.Pruned++
+						res.PrunedBandwidth++
 						continue
 					}
 					pws = append(pws, pwCfg{w2, c2, c1})
@@ -324,6 +332,7 @@ func ExploreWith(layers []*relay.Layer, net string, board *fpga.Board, opts Opti
 			for _, c1 := range divisorsOf(facts.c33C1, 16) {
 				if w2*c1*9 > 16*maxFloats {
 					res.Pruned++
+					res.PrunedBandwidth++
 					continue
 				}
 				c33s = append(c33s, topi.OptSched(w2, 1, c1))
@@ -387,6 +396,7 @@ func ExploreWith(layers []*relay.Layer, net string, board *fpga.Board, opts Opti
 		for i := range pws {
 			if probeDone[i] && prunedByProbe[i] {
 				res.Pruned++
+				res.PrunedRoute++
 			}
 		}
 	} else {
@@ -586,8 +596,8 @@ func evaluate(layers []*relay.Layer, cfg host.FoldedConfig, board *fpga.Board, c
 		// candidate, not an explorer failure.
 		return &Candidate{Config: cfg, FailReason: "bind: " + err.Error()}, nil
 	}
-	c := &Candidate{Config: cfg, FmaxMHz: dep.Design.FmaxMHz, DSPs: dep.Design.TotalArea.DSPs}
-	c.LogicFrac, _, _ = dep.Design.Utilization()
+	ef := dep.Design.Features()
+	c := &Candidate{Config: cfg, FmaxMHz: ef.FmaxMHz, DSPs: ef.DSPs, LogicFrac: ef.LogicFrac}
 	if !dep.Design.Synthesizable() {
 		c.FailReason = dep.Design.FailReason
 		if !dep.Design.Routed {

@@ -1,0 +1,122 @@
+package dse
+
+// Exhaustive enumeration of the joint schedule space. This is the guided
+// tier's ground truth on spaces small enough to enumerate (LeNet: hundreds
+// of points): bench-dse compares the guided best against this best and gates
+// the evaluation-count ratio in CI. On the large joint spaces (MobileNet:
+// hundreds of thousands of points) it is deliberately unusable — that is the
+// point of the guided tier.
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/aoc"
+	"repro/internal/fpga"
+	"repro/internal/relay"
+	"repro/internal/trace"
+)
+
+// ExploreJointWith exhaustively evaluates every bandwidth-feasible point of
+// the joint schedule space in deterministic odometer order. Unlike
+// ExploreWith, MaxCandidates <= 0 means *unbounded* (evaluate the whole
+// feasible space); a positive value truncates enumeration after that many
+// reserved slots. Determinism and cancellation follow ExploreWith: slot
+// arrays plus a stable sort make the Result byte-identical for any worker
+// count.
+func ExploreJointWith(layers []*relay.Layer, net string, board *fpga.Board, opts Options) (*JointResult, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cache := opts.Cache
+	if cache == nil && !opts.NoCache {
+		cache = aoc.NewCompileCache()
+	}
+	if opts.Metrics != nil {
+		cache.SetObserver(trace.CacheObserver{Reg: opts.Metrics})
+	}
+	hits0, misses0 := cache.Stats()
+	t0 := time.Now()
+
+	space := BuildSpace(layers, net)
+	res := &JointResult{
+		Result:    Result{Board: board, Net: net},
+		SpaceSize: space.Size(),
+		SpaceSig:  space.Sig(),
+	}
+	defer func() {
+		hits1, misses1 := cache.Stats()
+		res.CacheHits = hits1 - hits0
+		res.CacheMisses = misses1 - misses0
+		if m := opts.Metrics; m != nil {
+			m.Counter("dse.evaluated").Add(int64(res.Evaluated))
+			m.Counter("dse.pruned").Add(int64(res.Pruned))
+			m.Counter("dse.pruned_bandwidth").Add(int64(res.PrunedBandwidth))
+			m.Counter("dse.pruned_route").Add(int64(res.PrunedRoute))
+			m.Counter("dse.cache_hits").Add(res.CacheHits)
+			m.Counter("dse.cache_misses").Add(res.CacheMisses)
+			m.Gauge("dse.cache_hit_ratio").Set(res.CacheHitRate())
+			m.Gauge("dse.space_size").Set(float64(res.SpaceSize))
+			if el := time.Since(t0).Seconds(); el > 0 {
+				m.Gauge("dse.candidates_per_sec").Set(float64(res.Evaluated) / el)
+			}
+		}
+	}()
+
+	// Slot assignment: enumerate feasible points up front (cheap integer
+	// work), so the parallel phase has exact accounting.
+	var slots []Point
+	space.Enumerate(func(p Point) bool {
+		if ok, _ := space.Feasible(p, board); !ok {
+			res.Pruned++
+			res.PrunedBandwidth++
+			return true
+		}
+		if opts.MaxCandidates > 0 && len(slots) >= opts.MaxCandidates {
+			return false
+		}
+		slots = append(slots, p.Clone())
+		return true
+	})
+
+	cands := make([]*Candidate, len(slots))
+	done, errs := runJobs(ctx, len(slots), workers, func(i int) error {
+		cand, err := evaluate(layers, space.Config(slots[i]), board, cache)
+		if err != nil {
+			return err
+		}
+		cands[i] = cand
+		return nil
+	})
+	for i, err := range errs {
+		if done[i] && err != nil {
+			return nil, err
+		}
+	}
+	for i, c := range cands {
+		if done[i] && c != nil {
+			res.Candidates = append(res.Candidates, *c)
+			res.Evaluated++
+		}
+	}
+	res.Canceled = ctx.Err() != nil
+
+	sort.SliceStable(res.Candidates, func(i, j int) bool {
+		a, b := res.Candidates[i], res.Candidates[j]
+		if a.Synthesizable != b.Synthesizable {
+			return a.Synthesizable
+		}
+		if !a.Synthesizable {
+			return false
+		}
+		return a.TimeUS < b.TimeUS
+	})
+	return res, nil
+}

@@ -28,6 +28,9 @@ type FoldedConfig struct {
 	DWVec map[string]int
 	// DenseVec is the dense reduction unroll.
 	DenseVec int
+	// Dense optionally overrides DenseVec per dense signature ("dense",
+	// "dense_relu"); the guided explorer searches these axes independently.
+	Dense map[string]int
 	// Workaround applies the Listing 5.11 stride-1 coalescing fix
 	// (on in all thesis deployments; off for the ablation).
 	Workaround bool
@@ -270,7 +273,11 @@ func BuildFoldedCached(layers []*relay.Layer, cfg FoldedConfig, board *fpga.Boar
 			}
 			g := groups[sig]
 			if g == nil || g.dense == nil {
-				pd, err := topi.DenseParam(sig, cfg.DenseVec, l.Relu, l.B != nil, cfg.Workaround)
+				kvec := cfg.DenseVec
+				if v, ok := cfg.Dense[sig]; ok && v > 0 {
+					kvec = v
+				}
+				pd, err := topi.DenseParam(sig, kvec, l.Relu, l.B != nil, cfg.Workaround)
 				if err != nil {
 					return nil, err
 				}

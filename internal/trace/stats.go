@@ -1,0 +1,76 @@
+package trace
+
+// Small deterministic statistics helpers for published metrics. Only
+// IEEE-exact float operations (+, -, ×, ÷, sqrt) are used, so results are
+// bit-identical across conforming platforms — these values end up in
+// byte-diffed benchmark reports.
+
+import "math"
+
+// SpearmanRank returns the Spearman rank correlation between pred and
+// actual (average ranks for ties). Returns 0 when the slices are shorter
+// than 2, of unequal length, or when either side is constant (zero
+// variance). +1 means the prediction ranks candidates exactly like the
+// ground truth; values near 0 mean the ranking carries no signal.
+func SpearmanRank(pred, actual []float64) float64 {
+	if len(pred) != len(actual) || len(pred) < 2 {
+		return 0
+	}
+	rp := ranks(pred)
+	ra := ranks(actual)
+	return pearson(rp, ra)
+}
+
+// ranks assigns 1-based average-tie ranks.
+func ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by value (ties keep index order): n is small and this
+	// avoids sort.Slice's interface overhead while staying deterministic.
+	for i := 1; i < n; i++ {
+		j := i
+		for j > 0 && (x[idx[j-1]] > x[idx[j]] || (x[idx[j-1]] == x[idx[j]] && idx[j-1] > idx[j])) {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+			j--
+		}
+	}
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		// Average rank for the tie block [i, j].
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// pearson returns the Pearson correlation of two equal-length series.
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var sa, sb float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / (math.Sqrt(va) * math.Sqrt(vb))
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// approx allows a few ulps of rounding in the Pearson step; exact bit
+// determinism across repeated calls is asserted separately.
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSpearmanRank(t *testing.T) {
+	cases := []struct {
+		name         string
+		pred, actual []float64
+		want         float64
+	}{
+		{"perfect", []float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}, 1},
+		{"perfect nonlinear", []float64{1, 2, 3, 4}, []float64{1, 100, 10000, 1000000}, 1},
+		{"reversed", []float64{1, 2, 3, 4}, []float64{40, 30, 20, 10}, -1},
+		{"constant pred", []float64{5, 5, 5}, []float64{1, 2, 3}, 0},
+		{"constant actual", []float64{1, 2, 3}, []float64{7, 7, 7}, 0},
+		{"too short", []float64{1}, []float64{1}, 0},
+		{"length mismatch", []float64{1, 2}, []float64{1, 2, 3}, 0},
+		{"empty", nil, nil, 0},
+	}
+	for _, c := range cases {
+		if got := SpearmanRank(c.pred, c.actual); !approx(got, c.want) {
+			t.Errorf("%s: SpearmanRank = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSpearmanRankTies(t *testing.T) {
+	// Ties get average ranks: pred {1,2,2,3} ranks to {1, 2.5, 2.5, 4}.
+	// Against a strictly increasing actual the correlation is high but below
+	// 1 because the tie breaks the strict monotone match.
+	got := SpearmanRank([]float64{1, 2, 2, 3}, []float64{10, 20, 30, 40})
+	if got <= 0.9 || got >= 1 {
+		t.Fatalf("tied ranks: got %v, want in (0.9, 1)", got)
+	}
+	// Ties on both sides in the same places restore a perfect match.
+	if got := SpearmanRank([]float64{1, 2, 2, 3}, []float64{10, 20, 20, 30}); !approx(got, 1) {
+		t.Fatalf("matched ties: got %v, want 1", got)
+	}
+}
+
+func TestSpearmanRankDeterministic(t *testing.T) {
+	pred := []float64{3.2, 1.1, 4.8, 1.1, 2.9, 7.5, 0.3}
+	actual := []float64{30, 12, 50, 11, 28, 70, 5}
+	first := SpearmanRank(pred, actual)
+	for i := 0; i < 10; i++ {
+		if got := SpearmanRank(pred, actual); got != first {
+			t.Fatalf("run %d: got %v, want %v (bit-identical)", i, got, first)
+		}
+	}
+}
